@@ -1,0 +1,30 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables end-to-end (circuit
+generation, synthesis front end, all mappers) and attaches the reproduced
+averages — next to the paper's reported averages — to the pytest-benchmark
+report via ``extra_info``.
+
+Set ``REPRO_BENCH_FULL=0`` to run on a reduced circuit subset (useful in
+CI); the default runs every circuit of the corresponding paper table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Reduced subsets used when REPRO_BENCH_FULL=0.
+QUICK_SUBSET = ["cm150", "mux", "z4ml", "cordic", "frg1", "b9", "9symml",
+                "apex7", "c880"]
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "1") != "0"
+
+
+@pytest.fixture
+def table_circuits():
+    """None (= the full paper table) or the quick subset."""
+    return None if full_run() else QUICK_SUBSET

@@ -1,0 +1,38 @@
+"""Benchmark: reproduce Table III (clock-connected transistor weighting).
+
+``SOI_Domino_Map`` is run with the clock-weighted cost model at k=1 and
+k=2; increasing k trades gates/discharge transistors against logic
+transistors to unload the clock network (paper average: 3.82% fewer
+clock-connected transistors).
+"""
+
+from repro.evaluation import run_table3
+
+
+def test_table3_clock_weighting(benchmark, table_circuits):
+    result = benchmark.pedantic(
+        lambda: run_table3(circuits=table_circuits, k=2.0),
+        rounds=1, iterations=1)
+    print()
+    print(result.text)
+    benchmark.extra_info.update(
+        {f"measured {k}": round(v, 2) for k, v in result.averages.items()})
+    benchmark.extra_info.update(
+        {f"paper {k}": v for k, v in result.paper_averages.items()})
+    # In the exact (duplication-free) regime, weighting clock devices can
+    # never increase the clock load, and some circuits must improve.
+    improvements = [row[11] for row in result.rows]
+    assert all(v >= 0 for v in improvements)
+    assert any(v > 0 for v in improvements)
+
+
+def test_table3_larger_k_montonic(table_circuits):
+    """The paper notes larger k keeps pushing the same direction: k=4
+    should unload the clock at least as much as k=2 on aggregate."""
+    circuits = table_circuits or ["z4ml", "cordic", "frg1", "9symml",
+                                  "c880", "k2"]
+    k2 = run_table3(circuits=circuits, k=2.0)
+    k4 = run_table3(circuits=circuits, k=4.0)
+    total_k2 = sum(row[10] for row in k2.rows)
+    total_k4 = sum(row[10] for row in k4.rows)
+    assert total_k4 <= total_k2 * 1.02  # allow tiny heuristic noise

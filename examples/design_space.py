@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Explore the mapper's design space on one circuit.
+
+Sweeps the knobs the paper discusses — cost objective (area / clock-
+weighted / depth), the clock-transistor weight k, and the pulldown
+width/height limits — on a single benchmark circuit and prints how the
+solution moves between the extremes ("the algorithm chooses a result
+balanced between these extremes", section VI-C).
+
+Run:  python examples/design_space.py [circuit]
+"""
+
+import sys
+
+from repro.bench_suite import load_circuit
+from repro.mapping import ClockWeightedCost, DepthCost, soi_domino_map
+
+
+def row(label, cost):
+    print(f"  {label:28s} T_logic={cost.t_logic:5d}  T_disch={cost.t_disch:4d}"
+          f"  T_total={cost.t_total:5d}  T_clock={cost.t_clock:4d}"
+          f"  #G={cost.num_gates:4d}  L={cost.levels:3d}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "9symml"
+    network = load_circuit(name)
+    print(f"circuit: {name}\n")
+
+    print("cost objective sweep (Wmax=5, Hmax=8):")
+    row("area", soi_domino_map(network).cost)
+    row("depth", soi_domino_map(network, cost_model=DepthCost()).cost)
+    for k in (1.0, 2.0, 4.0, 8.0):
+        cost = soi_domino_map(network, cost_model=ClockWeightedCost(k),
+                              duplication=False).cost
+        row(f"clock-weighted k={k:g} (exact)", cost)
+
+    print("\npulldown limit sweep (area cost):")
+    for w_max, h_max in ((2, 2), (3, 4), (5, 8), (8, 12)):
+        cost = soi_domino_map(network, w_max=w_max, h_max=h_max).cost
+        row(f"Wmax={w_max}, Hmax={h_max}", cost)
+
+    print("\nablations (area cost, Wmax=5, Hmax=8):")
+    row("paper ordering rule", soi_domino_map(network).cost)
+    row("naive ordering", soi_domino_map(network, ordering="naive").cost)
+    row("exhaustive ordering",
+        soi_domino_map(network, ordering="exhaustive").cost)
+    row("pessimistic grounding",
+        soi_domino_map(network, ground_policy="pessimistic").cost)
+    row("pareto tuple fronts", soi_domino_map(network, pareto=True).cost)
+
+
+if __name__ == "__main__":
+    main()

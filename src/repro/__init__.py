@@ -1,0 +1,114 @@
+"""repro — reproduction of "Technology Mapping for SOI Domino Logic
+Incorporating Solutions for the Parasitic Bipolar Effect"
+(Karandikar & Sapatnekar, DAC 2001).
+
+The package builds domino-logic implementations of random logic networks
+for SOI technology, minimizing the clock-driven pmos pre-discharge
+transistors required to suppress the Parasitic Bipolar Effect (PBE).
+
+Quick start::
+
+    from repro import network_from_expression, soi_domino_map
+
+    net = network_from_expression("(A + B + C) * D")
+    result = soi_domino_map(net)
+    print(result.cost)
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from .errors import (
+    BenchmarkError,
+    MappingError,
+    NetworkError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    StructureError,
+    UnateConversionError,
+)
+from .network import (
+    LogicNetwork,
+    LogicNode,
+    NodeType,
+    network_from_expression,
+    network_from_expressions,
+    network_stats,
+)
+from .synth import decompose, sweep, unate_convert, unate_with_sweep
+from .domino import (
+    CircuitCost,
+    DominoCircuit,
+    DominoGate,
+    Leaf,
+    Parallel,
+    Series,
+    analyse,
+    count_discharge_transistors,
+    parallel,
+    rearrange,
+    series,
+)
+from .mapping import (
+    AreaCost,
+    ClockWeightedCost,
+    CostModel,
+    DepthCost,
+    FlowResult,
+    MapperConfig,
+    MappingEngine,
+    MappingResult,
+    domino_map,
+    map_network,
+    prepare_network,
+    rs_map,
+    soi_domino_map,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkError",
+    "MappingError",
+    "NetworkError",
+    "ParseError",
+    "ReproError",
+    "SimulationError",
+    "StructureError",
+    "UnateConversionError",
+    "LogicNetwork",
+    "LogicNode",
+    "NodeType",
+    "network_from_expression",
+    "network_from_expressions",
+    "network_stats",
+    "decompose",
+    "sweep",
+    "unate_convert",
+    "unate_with_sweep",
+    "CircuitCost",
+    "DominoCircuit",
+    "DominoGate",
+    "Leaf",
+    "Parallel",
+    "Series",
+    "analyse",
+    "count_discharge_transistors",
+    "parallel",
+    "rearrange",
+    "series",
+    "AreaCost",
+    "ClockWeightedCost",
+    "CostModel",
+    "DepthCost",
+    "FlowResult",
+    "MapperConfig",
+    "MappingEngine",
+    "MappingResult",
+    "domino_map",
+    "map_network",
+    "prepare_network",
+    "rs_map",
+    "soi_domino_map",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Benchmark circuit suite (functional + calibrated synthetic stand-ins)."""
+
+from .arithmetic import (
+    alu,
+    array_multiplier,
+    carry_lookahead_adder,
+    comparator,
+    cordic_stage,
+    ripple_adder,
+    z4ml,
+)
+from .des import S_BOXES, des_round, des_rounds
+from .generators import random_network
+from .parity_ecc import parity_tree, sec_corrector, sec_ded, sec_encoder
+from .selector_logic import (
+    counter_bank,
+    incrementer,
+    multiplexer,
+    mux_tree,
+    mux_two_level,
+    priority_interrupt_controller,
+)
+from .symmetric import count_range, nine_sym, ones_counter, rd_function
+from .registry import (
+    BENCH_DIR_ENV,
+    CircuitSpec,
+    circuit_names,
+    get_spec,
+    load_circuit,
+)
+
+__all__ = [
+    "alu",
+    "array_multiplier",
+    "carry_lookahead_adder",
+    "comparator",
+    "cordic_stage",
+    "ripple_adder",
+    "z4ml",
+    "S_BOXES",
+    "des_round",
+    "des_rounds",
+    "random_network",
+    "parity_tree",
+    "sec_corrector",
+    "sec_ded",
+    "sec_encoder",
+    "counter_bank",
+    "incrementer",
+    "multiplexer",
+    "mux_tree",
+    "mux_two_level",
+    "priority_interrupt_controller",
+    "count_range",
+    "nine_sym",
+    "ones_counter",
+    "rd_function",
+    "BENCH_DIR_ENV",
+    "CircuitSpec",
+    "circuit_names",
+    "get_spec",
+    "load_circuit",
+]

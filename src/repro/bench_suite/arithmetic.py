@@ -1,0 +1,219 @@
+"""Functional arithmetic benchmark circuits (adders, ALUs, comparators).
+
+These stand in for the ISCAS-85/MCNC arithmetic benchmarks whose
+documented functions are reconstructible: ripple/carry-select adders,
+ALU slices with function-select logic, magnitude comparators, and the
+add/subtract datapath of a CORDIC rotation stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import BenchmarkError
+from ..network import LogicNetwork, NodeType
+
+
+def _full_adder(network: LogicNetwork, a: int, b: int,
+                cin: int) -> Tuple[int, int]:
+    """(sum, carry-out) of one full-adder bit."""
+    axb = network.add_gate(NodeType.XOR, (a, b))
+    s = network.add_gate(NodeType.XOR, (axb, cin))
+    ab = network.add_and(a, b)
+    cx = network.add_and(axb, cin)
+    cout = network.add_or(ab, cx)
+    return s, cout
+
+
+def ripple_adder(width: int, name: str = "", with_cin: bool = True) -> LogicNetwork:
+    """``width``-bit ripple-carry adder: sum bits plus carry out."""
+    if width < 1:
+        raise BenchmarkError("adder width must be >= 1")
+    network = LogicNetwork(name or f"add{width}")
+    a = [network.add_pi(f"a{i}") for i in range(width)]
+    b = [network.add_pi(f"b{i}") for i in range(width)]
+    carry = network.add_pi("cin") if with_cin else network.add_const(False)
+    for i in range(width):
+        s, carry = _full_adder(network, a[i], b[i], carry)
+        network.add_po(s, f"s{i}")
+    network.add_po(carry, "cout")
+    return network
+
+
+def carry_lookahead_adder(width: int, name: str = "") -> LogicNetwork:
+    """``width``-bit adder with explicit generate/propagate lookahead.
+
+    The MCNC circuit ``z4ml`` is a 4-bit adder of this flavour (2-bit
+    lookahead groups); we build full lookahead per bit.
+    """
+    if width < 1:
+        raise BenchmarkError("adder width must be >= 1")
+    network = LogicNetwork(name or f"cla{width}")
+    a = [network.add_pi(f"a{i}") for i in range(width)]
+    b = [network.add_pi(f"b{i}") for i in range(width)]
+    cin = network.add_pi("cin")
+    g = [network.add_and(a[i], b[i]) for i in range(width)]
+    p = [network.add_gate(NodeType.XOR, (a[i], b[i])) for i in range(width)]
+    carries = [cin]
+    for i in range(width):
+        # c[i+1] = g[i] + p[i] * c[i]
+        carries.append(network.add_or(g[i], network.add_and(p[i], carries[i])))
+    for i in range(width):
+        network.add_po(network.add_gate(NodeType.XOR, (p[i], carries[i])),
+                       f"s{i}")
+    network.add_po(carries[width], "cout")
+    return network
+
+
+def z4ml(name: str = "z4ml") -> LogicNetwork:
+    """2-bit-group carry-lookahead 4-bit adder (the MCNC ``z4ml`` function)."""
+    return carry_lookahead_adder(4, name=name)
+
+
+def comparator(width: int, name: str = "") -> LogicNetwork:
+    """Magnitude comparator: outputs ``eq``, ``lt``, ``gt``."""
+    if width < 1:
+        raise BenchmarkError("comparator width must be >= 1")
+    network = LogicNetwork(name or f"cmp{width}")
+    a = [network.add_pi(f"a{i}") for i in range(width)]
+    b = [network.add_pi(f"b{i}") for i in range(width)]
+    eq_bits = [network.add_gate(NodeType.XNOR, (a[i], b[i]))
+               for i in range(width)]
+    lt = None
+    eq_prefix = None
+    for i in reversed(range(width)):  # MSB first
+        bit_lt = network.add_and(network.add_inv(a[i]), b[i])
+        term = bit_lt if eq_prefix is None else network.add_and(eq_prefix,
+                                                                bit_lt)
+        lt = term if lt is None else network.add_or(lt, term)
+        eq_prefix = (eq_bits[i] if eq_prefix is None
+                     else network.add_and(eq_prefix, eq_bits[i]))
+    network.add_po(eq_prefix, "eq")
+    network.add_po(lt, "lt")
+    network.add_po(network.add_inv(network.add_or(eq_prefix, lt)), "gt")
+    return network
+
+
+def alu(width: int, name: str = "") -> LogicNetwork:
+    """A ``width``-bit ALU slice in the style of the ISCAS ALU cores.
+
+    Two function-select bits choose between ADD, AND, OR and XOR; an
+    invert-B control implements subtract-style operations.  Outputs are
+    the result bits, carry-out and a zero flag.
+    """
+    if width < 1:
+        raise BenchmarkError("ALU width must be >= 1")
+    network = LogicNetwork(name or f"alu{width}")
+    a = [network.add_pi(f"a{i}") for i in range(width)]
+    b = [network.add_pi(f"b{i}") for i in range(width)]
+    s0 = network.add_pi("s0")
+    s1 = network.add_pi("s1")
+    inv_b = network.add_pi("inv_b")
+    cin = network.add_pi("cin")
+
+    # Operand B conditioned by the invert control.
+    b_eff = [network.add_gate(NodeType.XOR, (b[i], inv_b))
+             for i in range(width)]
+
+    # Select decode.
+    n0 = network.add_inv(s0)
+    n1 = network.add_inv(s1)
+    sel_add = network.add_and(n1, n0)
+    sel_and = network.add_and(n1, s0)
+    sel_or = network.add_and(s1, n0)
+    sel_xor = network.add_and(s1, s0)
+
+    carry = cin
+    results: List[int] = []
+    for i in range(width):
+        s_bit, carry = _full_adder(network, a[i], b_eff[i], carry)
+        and_bit = network.add_and(a[i], b_eff[i])
+        or_bit = network.add_or(a[i], b_eff[i])
+        xor_bit = network.add_gate(NodeType.XOR, (a[i], b_eff[i]))
+        picked = network.add_or(
+            network.add_or(network.add_and(sel_add, s_bit),
+                           network.add_and(sel_and, and_bit)),
+            network.add_or(network.add_and(sel_or, or_bit),
+                           network.add_and(sel_xor, xor_bit)))
+        results.append(picked)
+        network.add_po(picked, f"r{i}")
+    network.add_po(carry, "cout")
+    zero = results[0]
+    for r in results[1:]:
+        zero = network.add_or(zero, r)
+    network.add_po(network.add_inv(zero), "zero")
+    return network
+
+
+def array_multiplier(width: int, name: str = "") -> LogicNetwork:
+    """``width x width`` unsigned array multiplier (carry-save rows).
+
+    Stands in for the small MCNC arithmetic benchmarks (``f51m`` is an
+    arithmetic function of this flavour).
+    """
+    if width < 2:
+        raise BenchmarkError("multiplier width must be >= 2")
+    network = LogicNetwork(name or f"mul{width}")
+    a = [network.add_pi(f"a{i}") for i in range(width)]
+    b = [network.add_pi(f"b{i}") for i in range(width)]
+    # Partial-product columns.
+    columns: List[List[int]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(network.add_and(a[i], b[j]))
+    # Column compression with full/half adders.
+    for col in range(2 * width):
+        bits = columns[col]
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                x, y, z = bits.pop(), bits.pop(), bits.pop()
+                s, carry = _full_adder(network, x, y, z)
+            else:
+                x, y = bits.pop(), bits.pop()
+                s = network.add_gate(NodeType.XOR, (x, y))
+                carry = network.add_and(x, y)
+            bits.append(s)
+            if col + 1 < 2 * width:
+                columns[col + 1].append(carry)
+        if bits:
+            network.add_po(bits[0], f"p{col}")
+    return network
+
+
+def cordic_stage(width: int = 8, name: str = "cordic") -> LogicNetwork:
+    """One combinational CORDIC rotation stage.
+
+    Computes ``x' = x -/+ (y >> k)`` and ``y' = y +/- (x >> k)`` with the
+    direction chosen by a sign input — conditional add/subtract datapaths,
+    which is the logic style of the MCNC ``cordic`` benchmark.
+    """
+    if width < 2:
+        raise BenchmarkError("cordic width must be >= 2")
+    shift = 1
+    network = LogicNetwork(name)
+    x = [network.add_pi(f"x{i}") for i in range(width)]
+    y = [network.add_pi(f"y{i}") for i in range(width)]
+    d = network.add_pi("d")  # rotation direction
+
+    def shifted(vec: Sequence[int]) -> List[int]:
+        # Arithmetic right shift by `shift` (sign extend with the MSB).
+        return list(vec[shift:]) + [vec[-1]] * shift
+
+    def add_sub(u: Sequence[int], v: Sequence[int], sub_when: int,
+                tag: str) -> List[int]:
+        # u +/- v: v XOR control, carry-in = control.
+        v_eff = [network.add_gate(NodeType.XOR, (bit, sub_when)) for bit in v]
+        carry = sub_when
+        out = []
+        for i in range(width):
+            s, carry = _full_adder(network, u[i], v_eff[i], carry)
+            out.append(s)
+        return out
+
+    not_d = network.add_inv(d)
+    x_new = add_sub(x, shifted(y), d, "x")
+    y_new = add_sub(y, shifted(x), not_d, "y")
+    for i in range(width):
+        network.add_po(x_new[i], f"xo{i}")
+        network.add_po(y_new[i], f"yo{i}")
+    return network

@@ -1,0 +1,155 @@
+"""DES round-function logic (the ``des`` benchmark's core).
+
+The MCNC ``des`` benchmark is the combinational logic of the DES cipher
+data path.  This reconstruction builds one full Feistel round function:
+expansion E, key XOR, the eight 6-to-4 S-boxes realized as two-level
+sum-of-minterms logic (the realistic source of wide AND/OR structure),
+and the P permutation; ``des_rounds`` chains several rounds for the
+larger configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import BenchmarkError
+from ..network import LogicNetwork, NodeType
+
+# The eight standard DES S-boxes: [box][row 0-3][column 0-15] -> 4-bit value.
+S_BOXES = [
+    [[14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+     [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+     [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+     [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13]],
+    [[15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+     [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+     [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+     [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9]],
+    [[10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+     [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+     [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+     [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12]],
+    [[7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+     [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+     [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+     [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14]],
+    [[2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+     [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+     [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+     [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3]],
+    [[12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+     [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+     [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+     [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13]],
+    [[4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+     [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+     [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+     [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12]],
+    [[13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+     [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+     [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+     [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11]],
+]
+
+# Expansion E: 32 -> 48, 1-based input indices per the DES specification.
+E_TABLE = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+]
+
+# Permutation P: 32 -> 32, 1-based.
+P_TABLE = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10,
+    2, 8, 24, 14, 32, 27, 3, 9, 19, 13, 30, 6, 22, 11, 4, 25,
+]
+
+
+def _sbox_outputs(network: LogicNetwork, box: int,
+                  ins: Sequence[int]) -> List[int]:
+    """Two-level sum-of-minterms realization of one S-box.
+
+    ``ins`` are the 6 input nodes, DES bit order: bits 0 and 5 select the
+    row, bits 1-4 the column.
+    """
+    if len(ins) != 6:
+        raise BenchmarkError("an S-box takes exactly 6 inputs")
+    literals_n = [network.add_inv(i) for i in ins]
+    minterm_cache = {}
+
+    def minterm(value: int) -> int:
+        if value in minterm_cache:
+            return minterm_cache[value]
+        term = None
+        for bit in range(6):
+            lit = ins[bit] if (value >> bit) & 1 else literals_n[bit]
+            term = lit if term is None else network.add_and(term, lit)
+        minterm_cache[value] = term
+        return term
+
+    outputs: List[int] = []
+    table = S_BOXES[box]
+    for out_bit in range(4):
+        terms: List[int] = []
+        for value in range(64):
+            # DES convention: ins[0] and ins[5] (outer bits) pick the row.
+            row = ((value >> 0) & 1) | (((value >> 5) & 1) << 1)
+            col = (value >> 1) & 0xF
+            if (table[row][col] >> out_bit) & 1:
+                terms.append(minterm(value))
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = network.add_or(acc, term)
+        outputs.append(acc)
+    return outputs
+
+
+def des_round(name: str = "des") -> LogicNetwork:
+    """One DES round function f(R, K): E-expand, key-mix, S-boxes, P."""
+    network = LogicNetwork(name)
+    r = [network.add_pi(f"r{i}") for i in range(32)]
+    k = [network.add_pi(f"k{i}") for i in range(48)]
+    _build_round(network, r, k, prefix="f")
+    return network
+
+
+def _build_round(network: LogicNetwork, r: Sequence[int], k: Sequence[int],
+                 prefix: str) -> List[int]:
+    expanded = [r[E_TABLE[i] - 1] for i in range(48)]
+    mixed = [network.add_gate(NodeType.XOR, (expanded[i], k[i]))
+             for i in range(48)]
+    sbox_out: List[int] = []
+    for box in range(8):
+        ins = mixed[box * 6:(box + 1) * 6]
+        sbox_out.extend(_sbox_outputs(network, box, ins))
+    permuted = [sbox_out[P_TABLE[i] - 1] for i in range(32)]
+    for i, node in enumerate(permuted):
+        network.add_po(node, f"{prefix}{i}")
+    return permuted
+
+
+def des_rounds(rounds: int = 2, name: str = "des") -> LogicNetwork:
+    """``rounds`` chained Feistel rounds (combinational, per-round keys)."""
+    if rounds < 1:
+        raise BenchmarkError("need at least one round")
+    network = LogicNetwork(name)
+    left = [network.add_pi(f"l{i}") for i in range(32)]
+    right = [network.add_pi(f"r{i}") for i in range(32)]
+    for rnd in range(rounds):
+        k = [network.add_pi(f"k{rnd}_{i}") for i in range(48)]
+        expanded = [right[E_TABLE[i] - 1] for i in range(48)]
+        mixed = [network.add_gate(NodeType.XOR, (expanded[i], k[i]))
+                 for i in range(48)]
+        sbox_out: List[int] = []
+        for box in range(8):
+            ins = mixed[box * 6:(box + 1) * 6]
+            sbox_out.extend(_sbox_outputs(network, box, ins))
+        f_out = [sbox_out[P_TABLE[i] - 1] for i in range(32)]
+        new_right = [network.add_gate(NodeType.XOR, (left[i], f_out[i]))
+                     for i in range(32)]
+        left, right = right, new_right
+    for i in range(32):
+        network.add_po(left[i], f"lo{i}")
+        network.add_po(right[i], f"ro{i}")
+    return network

@@ -1,0 +1,120 @@
+"""Seeded pseudo-random logic-network generator.
+
+Used as the stand-in for MCNC benchmark circuits whose original netlists
+are not redistributable here (see DESIGN.md, "Substitutions").  The
+generator is fully deterministic for a given parameter set, produces
+reconvergent multi-level AND/OR/INV/XOR logic, and is calibrated per
+benchmark name in :mod:`repro.bench_suite.registry` so mapped sizes land
+near the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..errors import BenchmarkError
+from ..network import LogicNetwork, NodeType
+
+
+def random_network(name: str, n_pi: int, n_gates: int, n_po: int,
+                   seed: int = 0, p_and: float = 0.40, p_or: float = 0.30,
+                   p_inv: float = 0.20, p_xor: float = 0.10,
+                   locality: int = 24, depth_target: int = 24) -> LogicNetwork:
+    """Generate a random combinational network.
+
+    Parameters
+    ----------
+    n_pi, n_gates, n_po:
+        Interface and size.  ``n_gates`` counts generated gate nodes
+        before sweeping.
+    seed:
+        RNG seed; identical arguments always produce identical networks.
+    p_and, p_or, p_inv, p_xor:
+        Gate-type mix (must sum to 1).
+    locality:
+        Fanins are drawn preferentially from the most recent ``locality``
+        signals, which produces deep, reconvergent structure instead of a
+        shallow fan-in ocean.
+    depth_target:
+        Approximate ceiling on the AND/OR depth of the result: fanin
+        picks that would push a gate past this level are re-drawn from
+        shallower nodes (the MCNC control benchmarks have depths of
+        roughly 6-42 two-input levels).
+    """
+    total = p_and + p_or + p_inv + p_xor
+    if abs(total - 1.0) > 1e-9:
+        raise BenchmarkError(f"gate-type probabilities sum to {total}, not 1")
+    if n_pi < 2 or n_gates < 1 or n_po < 1:
+        raise BenchmarkError(
+            f"degenerate parameters: n_pi={n_pi}, n_gates={n_gates}, "
+            f"n_po={n_po}")
+
+    rng = random.Random(seed)
+    network = LogicNetwork(name)
+    signals: List[int] = [network.add_pi(f"i{k}") for k in range(n_pi)]
+    level = {uid: 0 for uid in signals}
+
+    def pick_fanin(exclude: Optional[int] = None) -> int:
+        # 70%: recent window (deep chains); 30%: anywhere (reconvergence).
+        # Nodes already at the depth ceiling are re-drawn.
+        for _ in range(12):
+            if rng.random() < 0.7 and len(signals) > locality:
+                choice = signals[-rng.randint(1, locality)]
+            else:
+                choice = signals[rng.randint(0, len(signals) - 1)]
+            if choice != exclude and level[choice] < depth_target:
+                return choice
+        shallow = [s for s in signals if level[s] < depth_target]
+        return rng.choice(shallow or signals)
+
+    for _ in range(n_gates):
+        roll = rng.random()
+        if roll < p_and:
+            a = pick_fanin()
+            uid = network.add_and(a, pick_fanin(exclude=a))
+        elif roll < p_and + p_or:
+            a = pick_fanin()
+            uid = network.add_or(a, pick_fanin(exclude=a))
+        elif roll < p_and + p_or + p_inv:
+            uid = network.add_inv(pick_fanin())
+        else:
+            a = pick_fanin()
+            uid = network.add_gate(NodeType.XOR, (a, pick_fanin(exclude=a)))
+        node = network.node(uid)
+        bump = 0 if node.type is NodeType.INV else 1
+        level[uid] = max(level[f] for f in node.fanins) + bump
+        signals.append(uid)
+
+    gate_signals = signals[n_pi:]
+    if n_po > len(gate_signals):
+        raise BenchmarkError(
+            f"cannot draw {n_po} POs from {len(gate_signals)} gates")
+    # Funnel every dangling gate into an output cone so that none of the
+    # generated logic is dead: the fanout-free signals are dealt round-robin
+    # onto the POs and reduced with alternating AND/OR trees.
+    dangling = [uid for uid in gate_signals
+                if network.fanout_count(uid) == 0]
+    if len(dangling) < n_po:
+        extra = [uid for uid in gate_signals if uid not in set(dangling)]
+        rng.shuffle(extra)
+        dangling.extend(extra[: n_po - len(dangling)])
+    groups: List[List[int]] = [[] for _ in range(n_po)]
+    for index, uid in enumerate(dangling):
+        groups[index % n_po].append(uid)
+    for index, group in enumerate(groups):
+        layer = list(group)
+        toggle = bool(index % 2)
+        while len(layer) > 1:
+            nxt: List[int] = []
+            for i in range(0, len(layer) - 1, 2):
+                if toggle:
+                    nxt.append(network.add_and(layer[i], layer[i + 1]))
+                else:
+                    nxt.append(network.add_or(layer[i], layer[i + 1]))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+            toggle = not toggle
+        network.add_po(layer[0], f"o{index}")
+    return network

@@ -1,0 +1,126 @@
+"""Parity trees and single-error-correction (SEC) circuits.
+
+The ISCAS-85 circuits c499/c1355 are documented as 32-bit
+single-error-correcting logic and c1908 as a 16-bit SEC/DED core; these
+functional reconstructions compute Hamming syndromes over the data word
+and decode/correct a single-bit error, which exercises the same wide-XOR
+logic style.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import BenchmarkError
+from ..network import LogicNetwork, NodeType
+
+
+def parity_tree(width: int, name: str = "") -> LogicNetwork:
+    """Balanced XOR parity of ``width`` inputs."""
+    if width < 2:
+        raise BenchmarkError("parity width must be >= 2")
+    network = LogicNetwork(name or f"parity{width}")
+    layer = [network.add_pi(f"i{k}") for k in range(width)]
+    while len(layer) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(network.add_gate(NodeType.XOR,
+                                        (layer[i], layer[i + 1])))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    network.add_po(layer[0], "p")
+    return network
+
+
+def _syndrome_positions(data_bits: int) -> List[List[int]]:
+    """Hamming code: for each check bit, the data indices it covers.
+
+    Data bits occupy the non-power-of-two codeword positions of a
+    standard Hamming code.
+    """
+    check_count = 0
+    while (1 << check_count) < data_bits + check_count + 1:
+        check_count += 1
+    positions: List[List[int]] = [[] for _ in range(check_count)]
+    data_index = 0
+    codeword_pos = 1
+    while data_index < data_bits:
+        if codeword_pos & (codeword_pos - 1):  # not a power of two
+            for c in range(check_count):
+                if codeword_pos & (1 << c):
+                    positions[c].append(data_index)
+            data_index += 1
+        codeword_pos += 1
+    return positions
+
+
+def _xor_reduce(network: LogicNetwork, nodes: List[int]) -> int:
+    layer = list(nodes)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(network.add_gate(NodeType.XOR,
+                                        (layer[i], layer[i + 1])))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def sec_encoder(data_bits: int = 32, name: str = "") -> LogicNetwork:
+    """Hamming check-bit generator over ``data_bits`` inputs (c499 style)."""
+    network = LogicNetwork(name or f"sec_enc{data_bits}")
+    data = [network.add_pi(f"d{i}") for i in range(data_bits)]
+    for c, covered in enumerate(_syndrome_positions(data_bits)):
+        network.add_po(_xor_reduce(network, [data[i] for i in covered]),
+                       f"c{c}")
+    return network
+
+
+def sec_corrector(data_bits: int = 32, name: str = "") -> LogicNetwork:
+    """Full SEC datapath: syndrome + single-bit correction (c1355 style).
+
+    Inputs are the received data and check bits; outputs are the corrected
+    data word and the syndrome.
+    """
+    network = LogicNetwork(name or f"sec{data_bits}")
+    data = [network.add_pi(f"d{i}") for i in range(data_bits)]
+    positions = _syndrome_positions(data_bits)
+    checks = [network.add_pi(f"c{i}") for i in range(len(positions))]
+
+    syndrome: List[int] = []
+    for c, covered in enumerate(positions):
+        s = _xor_reduce(network, [data[i] for i in covered] + [checks[c]])
+        syndrome.append(s)
+        network.add_po(s, f"s{c}")
+
+    syndrome_n = [network.add_inv(s) for s in syndrome]
+
+    # Codeword position of data bit i (non-power-of-two positions in order).
+    data_positions: List[int] = []
+    pos = 1
+    while len(data_positions) < data_bits:
+        if pos & (pos - 1):
+            data_positions.append(pos)
+        pos += 1
+
+    for i in range(data_bits):
+        target = data_positions[i]
+        term = None
+        for c in range(len(syndrome)):
+            lit = syndrome[c] if target & (1 << c) else syndrome_n[c]
+            term = lit if term is None else network.add_and(term, lit)
+        network.add_po(network.add_gate(NodeType.XOR, (data[i], term)),
+                       f"q{i}")
+    return network
+
+
+def sec_ded(data_bits: int = 16, name: str = "") -> LogicNetwork:
+    """SEC/DED: corrector plus overall-parity double-error detect (c1908 style)."""
+    network = sec_corrector(data_bits, name=name or f"secded{data_bits}")
+    # Overall parity across every input distinguishes single from double
+    # errors: reuse the existing PIs.
+    all_inputs = list(network.pis)
+    network.add_po(_xor_reduce(network, all_inputs), "ded")
+    return network

@@ -1,0 +1,191 @@
+"""Multiplexers, priority logic and counting circuits.
+
+Functional reconstructions of the selector-style MCNC/ISCAS benchmarks:
+``cm150``/``mux`` (16-to-1 multiplexers), ``count`` (carry-chain
+incrementer bank), and a priority interrupt controller in the style the
+ISCAS-85 documentation gives for ``c432`` (27-channel interrupt
+controller).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import BenchmarkError
+from ..network import LogicNetwork, NodeType
+
+
+def multiplexer(select_bits: int, name: str = "") -> LogicNetwork:
+    """``2**select_bits``-to-1 multiplexer (cm150/mux are 16-to-1)."""
+    if select_bits < 1:
+        raise BenchmarkError("multiplexer needs at least one select bit")
+    n = 1 << select_bits
+    network = LogicNetwork(name or f"mux{n}")
+    data = [network.add_pi(f"d{i}") for i in range(n)]
+    sel = [network.add_pi(f"s{i}") for i in range(select_bits)]
+    sel_n = [network.add_inv(s) for s in sel]
+    terms: List[int] = []
+    for i in range(n):
+        term = data[i]
+        for k in range(select_bits):
+            lit = sel[k] if (i >> k) & 1 else sel_n[k]
+            term = network.add_and(term, lit)
+        terms.append(term)
+    acc = terms[0]
+    for t in terms[1:]:
+        acc = network.add_or(acc, t)
+    network.add_po(acc, "y")
+    return network
+
+
+def mux_tree(select_bits: int, name: str = "") -> LogicNetwork:
+    """The same function built as a tree of 2-to-1 muxes (``mux`` flavour)."""
+    if select_bits < 1:
+        raise BenchmarkError("multiplexer needs at least one select bit")
+    n = 1 << select_bits
+    network = LogicNetwork(name or f"muxtree{n}")
+    layer = [network.add_pi(f"d{i}") for i in range(n)]
+    sel = [network.add_pi(f"s{i}") for i in range(select_bits)]
+    for k in range(select_bits):
+        s = sel[k]
+        s_n = network.add_inv(s)
+        nxt: List[int] = []
+        for i in range(0, len(layer), 2):
+            nxt.append(network.add_or(network.add_and(s_n, layer[i]),
+                                      network.add_and(s, layer[i + 1])))
+        layer = nxt
+    network.add_po(layer[0], "y")
+    return network
+
+
+def mux_two_level(select_bits: int = 4, group_bits: int = 2,
+                  name: str = "") -> LogicNetwork:
+    """A wide mux as a tree of flat ``2**group_bits``-to-1 stages.
+
+    This is the factored structure multi-level synthesis produces for the
+    MCNC ``cm150`` netlist: each stage is a flat AND-OR selector whose
+    data inputs are the previous stage's outputs, so selector OR-stacks
+    end up *above* other logic once the mapper absorbs a stage into its
+    consumer — the PBE-critical pattern.
+    """
+    if select_bits < group_bits or select_bits % group_bits:
+        raise BenchmarkError("select_bits must be a multiple of group_bits")
+    n = 1 << select_bits
+    network = LogicNetwork(name or f"mux2l{n}")
+    layer = [network.add_pi(f"d{i}") for i in range(n)]
+    sel = [network.add_pi(f"s{i}") for i in range(select_bits)]
+    sel_n = [network.add_inv(s) for s in sel]
+    group = 1 << group_bits
+    level = 0
+    while len(layer) > 1:
+        bits = [(sel[level * group_bits + k], sel_n[level * group_bits + k])
+                for k in range(group_bits)]
+        nxt: List[int] = []
+        for base in range(0, len(layer), group):
+            terms = []
+            for offset in range(group):
+                term = layer[base + offset]
+                for k in range(group_bits):
+                    lit = bits[k][0] if (offset >> k) & 1 else bits[k][1]
+                    term = network.add_and(term, lit)
+                terms.append(term)
+            acc = terms[0]
+            for t in terms[1:]:
+                acc = network.add_or(acc, t)
+            nxt.append(acc)
+        layer = nxt
+        level += 1
+    network.add_po(layer[0], "y")
+    return network
+
+
+def incrementer(width: int, name: str = "") -> LogicNetwork:
+    """``width``-bit incrementer with enable: the MCNC ``count`` style.
+
+    ``count`` chains carry logic through every bit; outputs are the
+    incremented value and the terminal carry.
+    """
+    if width < 1:
+        raise BenchmarkError("incrementer width must be >= 1")
+    network = LogicNetwork(name or f"inc{width}")
+    bits = [network.add_pi(f"q{i}") for i in range(width)]
+    carry = network.add_pi("en")
+    for i in range(width):
+        network.add_po(network.add_gate(NodeType.XOR, (bits[i], carry)),
+                       f"n{i}")
+        carry = network.add_and(carry, bits[i])
+    network.add_po(carry, "tc")
+    return network
+
+
+def counter_bank(width: int = 8, banks: int = 2,
+                 name: str = "count") -> LogicNetwork:
+    """Several chained incrementers sharing an enable (the ``count`` core)."""
+    network = LogicNetwork(name)
+    carry = network.add_pi("en")
+    for b in range(banks):
+        bits = [network.add_pi(f"q{b}_{i}") for i in range(width)]
+        for i in range(width):
+            network.add_po(network.add_gate(NodeType.XOR, (bits[i], carry)),
+                           f"n{b}_{i}")
+            carry = network.add_and(carry, bits[i])
+    network.add_po(carry, "tc")
+    return network
+
+
+def priority_interrupt_controller(channels: int = 27, groups: int = 3,
+                                  name: str = "c432") -> LogicNetwork:
+    """Priority interrupt controller in the style of ISCAS-85 ``c432``.
+
+    ``channels`` request lines are split into ``groups`` equal groups with
+    per-channel enable masks.  The controller reports, per group, whether
+    the group has the highest-priority pending request, plus the encoded
+    index of the winning channel within that group.
+    """
+    if channels % groups:
+        raise BenchmarkError("channels must divide evenly into groups")
+    per = channels // groups
+    network = LogicNetwork(name)
+    req = [network.add_pi(f"r{i}") for i in range(channels)]
+    mask = [network.add_pi(f"m{i}") for i in range(channels)]
+    pending = [network.add_and(req[i], mask[i]) for i in range(channels)]
+
+    # Group-pending and inter-group priority (group 0 highest).
+    group_pending: List[int] = []
+    for g in range(groups):
+        acc = pending[g * per]
+        for i in range(g * per + 1, (g + 1) * per):
+            acc = network.add_or(acc, pending[i])
+        group_pending.append(acc)
+    higher_clear = None
+    for g in range(groups):
+        if higher_clear is None:
+            grant = group_pending[g]
+        else:
+            grant = network.add_and(group_pending[g], higher_clear)
+        network.add_po(grant, f"grant{g}")
+        blocker = network.add_inv(group_pending[g])
+        higher_clear = (blocker if higher_clear is None
+                        else network.add_and(higher_clear, blocker))
+
+    # Per-group winning-channel encoder (channel 0 highest inside a group).
+    enc_width = max(1, (per - 1).bit_length())
+    for g in range(groups):
+        base = g * per
+        clear = None
+        winners: List[int] = []
+        for i in range(per):
+            p = pending[base + i]
+            winners.append(p if clear is None else network.add_and(p, clear))
+            blocker = network.add_inv(p)
+            clear = blocker if clear is None else network.add_and(clear,
+                                                                  blocker)
+        for bit in range(enc_width):
+            terms = [winners[i] for i in range(per) if (i >> bit) & 1]
+            if not terms:
+                continue
+            acc = terms[0]
+            for t in terms[1:]:
+                acc = network.add_or(acc, t)
+            network.add_po(acc, f"vec{g}_{bit}")
+    return network

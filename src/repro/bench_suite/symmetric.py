@@ -1,0 +1,94 @@
+"""Totally symmetric benchmark functions (9sym/9symml, t481 stand-in).
+
+``9sym`` outputs 1 iff the number of true inputs among its nine inputs is
+between 3 and 6 — a classic hard-for-two-level, easy-for-counting
+function.  We build it (and generalizations) with a half/full-adder
+bit-counting network followed by a range decoder, the multi-level style
+``9symml`` (the "ml" suffix) refers to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import BenchmarkError
+from ..network import LogicNetwork, NodeType
+
+
+def _half_adder(network: LogicNetwork, a: int, b: int) -> Tuple[int, int]:
+    return (network.add_gate(NodeType.XOR, (a, b)), network.add_and(a, b))
+
+
+def _full_adder(network: LogicNetwork, a: int, b: int,
+                c: int) -> Tuple[int, int]:
+    axb = network.add_gate(NodeType.XOR, (a, b))
+    s = network.add_gate(NodeType.XOR, (axb, c))
+    carry = network.add_or(network.add_and(a, b), network.add_and(axb, c))
+    return s, carry
+
+
+def ones_counter(network: LogicNetwork, inputs: Sequence[int]) -> List[int]:
+    """Population count of ``inputs`` as a little-endian bit vector.
+
+    Uses a carry-save adder tree of full/half adders (the standard
+    multi-level realization of symmetric functions).
+    """
+    columns: List[List[int]] = [list(inputs)]
+    while any(len(col) > 1 for col in columns):
+        new_columns: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for weight, col in enumerate(columns):
+            pending = list(col)
+            while len(pending) >= 3:
+                a, b, c = pending.pop(), pending.pop(), pending.pop()
+                s, carry = _full_adder(network, a, b, c)
+                new_columns[weight].append(s)
+                new_columns[weight + 1].append(carry)
+            if len(pending) == 2:
+                a, b = pending.pop(), pending.pop()
+                s, carry = _half_adder(network, a, b)
+                new_columns[weight].append(s)
+                new_columns[weight + 1].append(carry)
+            elif pending:
+                new_columns[weight].append(pending.pop())
+        while new_columns and not new_columns[-1]:
+            new_columns.pop()
+        columns = new_columns
+    return [col[0] for col in columns]
+
+
+def count_range(n_inputs: int, low: int, high: int,
+                name: str = "") -> LogicNetwork:
+    """Symmetric threshold function: 1 iff ``low <= popcount <= high``."""
+    if not (0 <= low <= high <= n_inputs):
+        raise BenchmarkError(f"bad range [{low}, {high}] for {n_inputs} inputs")
+    network = LogicNetwork(name or f"sym{n_inputs}_{low}_{high}")
+    inputs = [network.add_pi(f"i{k}") for k in range(n_inputs)]
+    count = ones_counter(network, inputs)
+    count_n = [network.add_inv(bit) for bit in count]
+
+    terms: List[int] = []
+    for value in range(low, high + 1):
+        term = None
+        for bit, (pos, neg) in enumerate(zip(count, count_n)):
+            lit = pos if (value >> bit) & 1 else neg
+            term = lit if term is None else network.add_and(term, lit)
+        terms.append(term)
+    acc = terms[0]
+    for term in terms[1:]:
+        acc = network.add_or(acc, term)
+    network.add_po(acc, "f")
+    return network
+
+
+def nine_sym(name: str = "9symml") -> LogicNetwork:
+    """The MCNC ``9sym`` function: 1 iff 3 <= popcount(inputs) <= 6."""
+    return count_range(9, 3, 6, name=name)
+
+
+def rd_function(n_inputs: int, name: str = "") -> LogicNetwork:
+    """MCNC ``rdXX``-style circuits: the full popcount vector as outputs."""
+    network = LogicNetwork(name or f"rd{n_inputs}")
+    inputs = [network.add_pi(f"i{k}") for k in range(n_inputs)]
+    for bit, node in enumerate(ones_counter(network, inputs)):
+        network.add_po(node, f"c{bit}")
+    return network

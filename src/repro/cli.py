@@ -1,0 +1,159 @@
+"""Command-line interface: ``soidomino`` / ``python -m repro``.
+
+Subcommands
+-----------
+``map``      map a circuit (built-in benchmark name or .bench/.blif/.pla
+             file) with one of the three algorithms and print the cost
+             summary (optionally the transistor netlist or DOT graph);
+``tables``   reproduce the paper's Tables I-IV;
+``circuits`` list the built-in benchmark suite;
+``pbe``      run the PBE stress simulator on a mapped circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .bench_suite import circuit_names, get_spec, load_circuit
+from .errors import ReproError
+from .io import circuit_netlist, circuit_to_dot, load_bench, load_blif, load_pla
+from .mapping import ClockWeightedCost, DepthCost, domino_map, rs_map, soi_domino_map
+from .network import LogicNetwork, network_stats
+from .pbe import random_stress
+
+_ALGORITHMS = {
+    "domino": domino_map,
+    "rs": rs_map,
+    "soi": soi_domino_map,
+}
+
+
+def _load_network(source: str) -> LogicNetwork:
+    if source.endswith(".bench"):
+        return load_bench(source)
+    if source.endswith(".blif"):
+        return load_blif(source)
+    if source.endswith(".pla"):
+        return load_pla(source)
+    return load_circuit(source)
+
+
+def _cmd_map(args) -> int:
+    network = _load_network(args.circuit)
+    if args.cost == "area":
+        model = None
+    elif args.cost == "clock":
+        model = ClockWeightedCost(args.k)
+    else:
+        model = DepthCost()
+    flow = _ALGORITHMS[args.algorithm]
+    result = flow(network, cost_model=model, w_max=args.w_max,
+                  h_max=args.h_max)
+    cost = result.cost
+    print(f"circuit:   {network.name}")
+    print(f"input:     {network_stats(network)}")
+    if result.unate_report is not None:
+        rep = result.unate_report
+        print(f"unate:     {rep.unate_gates} AND/OR gates "
+              f"(x{rep.duplication_ratio:.2f} duplication, "
+              f"{rep.negated_pis} complemented inputs)")
+    print(f"algorithm: {args.algorithm} ({args.cost} cost)")
+    print(f"mapped:    {cost}")
+    if args.netlist:
+        print(circuit_netlist(result.circuit))
+    if args.dot:
+        print(circuit_to_dot(result.circuit))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from .evaluation import RUNNERS
+
+    which = args.table or list(RUNNERS)
+    for key in which:
+        runner = RUNNERS[key]
+        result = runner(circuits=args.circuits or None)
+        print(result.text)
+        print()
+    return 0
+
+
+def _cmd_circuits(_args) -> int:
+    for name in circuit_names():
+        spec = get_spec(name)
+        print(f"{name:10s} [{spec.kind:10s}] {spec.description}")
+    return 0
+
+
+def _cmd_pbe(args) -> int:
+    network = _load_network(args.circuit)
+    result = _ALGORITHMS[args.algorithm](network)
+    report = random_stress(result.circuit, cycles=args.cycles,
+                           seed=args.seed)
+    print(f"circuit {network.name}, {args.algorithm}-mapped: {report}")
+    print("PBE-free" if report.pbe_free else "PBE MISFIRES OBSERVED")
+    return 0 if report.pbe_free else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="soidomino",
+        description="Technology mapping for SOI domino logic with PBE "
+                    "avoidance (DAC 2001 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map a circuit to domino logic")
+    p_map.add_argument("circuit",
+                       help="benchmark name or .bench/.blif/.pla file")
+    p_map.add_argument("-a", "--algorithm", choices=sorted(_ALGORITHMS),
+                       default="soi")
+    p_map.add_argument("-c", "--cost", choices=["area", "clock", "depth"],
+                       default="area")
+    p_map.add_argument("-k", type=float, default=2.0,
+                       help="clock-transistor weight for --cost clock")
+    p_map.add_argument("--w-max", type=int, default=5)
+    p_map.add_argument("--h-max", type=int, default=8)
+    p_map.add_argument("--netlist", action="store_true",
+                       help="print the SPICE-style transistor netlist")
+    p_map.add_argument("--dot", action="store_true",
+                       help="print the mapped circuit as Graphviz DOT")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_tab = sub.add_parser("tables", help="reproduce the paper's tables")
+    p_tab.add_argument("-t", "--table", action="append",
+                       choices=["table1", "table2", "table3", "table4"],
+                       help="which table (repeatable; default: all)")
+    p_tab.add_argument("--circuits", nargs="*",
+                       help="restrict to these circuits")
+    p_tab.set_defaults(func=_cmd_tables)
+
+    p_list = sub.add_parser("circuits", help="list the benchmark suite")
+    p_list.set_defaults(func=_cmd_circuits)
+
+    p_pbe = sub.add_parser("pbe", help="stress a mapped circuit for PBE")
+    p_pbe.add_argument("circuit")
+    p_pbe.add_argument("-a", "--algorithm", choices=sorted(_ALGORITHMS),
+                       default="soi")
+    p_pbe.add_argument("--cycles", type=int, default=300)
+    p_pbe.add_argument("--seed", type=int, default=0)
+    p_pbe.set_defaults(func=_cmd_pbe)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

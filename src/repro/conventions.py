@@ -1,0 +1,5 @@
+"""Cross-package naming conventions."""
+
+#: Suffix used for the complemented phase of a primary input signal,
+#: created by the unate conversion and consumed by the simulators.
+NEG_SUFFIX = "_bar"

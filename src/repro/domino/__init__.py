@@ -1,0 +1,58 @@
+"""Transistor-level domino circuit model and static PBE analysis."""
+
+from .structure import (
+    Leaf,
+    Parallel,
+    Pulldown,
+    Series,
+    check_limits,
+    gate_leaf_refs,
+    has_primary_leaf,
+    parallel,
+    series,
+)
+from .analysis import (
+    DischargeAnalysis,
+    DischargePoint,
+    analyse,
+    count_discharge_transistors,
+    p_dis,
+    par_b,
+)
+from .gate import FOOT_OVERHEAD, GATE_OVERHEAD, DominoGate
+from .circuit import CircuitCost, DominoCircuit
+from .rearrange import discharge_saving, rearrange
+from .split import SplitCost, split_cost, split_parallel_stacks
+from .timing import CircuitTiming, GateDelay, circuit_timing, gate_delay
+
+__all__ = [
+    "Leaf",
+    "Parallel",
+    "Pulldown",
+    "Series",
+    "check_limits",
+    "gate_leaf_refs",
+    "has_primary_leaf",
+    "parallel",
+    "series",
+    "DischargeAnalysis",
+    "DischargePoint",
+    "analyse",
+    "count_discharge_transistors",
+    "p_dis",
+    "par_b",
+    "FOOT_OVERHEAD",
+    "GATE_OVERHEAD",
+    "DominoGate",
+    "CircuitCost",
+    "DominoCircuit",
+    "discharge_saving",
+    "rearrange",
+    "SplitCost",
+    "split_cost",
+    "split_parallel_stacks",
+    "CircuitTiming",
+    "GateDelay",
+    "circuit_timing",
+    "gate_delay",
+]

@@ -1,0 +1,139 @@
+"""Static Parasitic-Bipolar-Effect analysis of pulldown structures.
+
+This module implements the paper's discharge-point model (section V) as a
+*structural* analysis, independent of the mapping DP.  The mapper's
+``p_dis``/``par_b`` bookkeeping is verified against these functions in the
+test suite, and the baseline/post-processing flows use them to insert
+discharge transistors into already-built structures.
+
+Model (reconstructed from the paper's Figures 4 and 5 — see DESIGN.md):
+
+* The bottom node of a parallel stack, and the internal junctions of series
+  chains, are *potential discharge points*: they can be charged high during
+  operation and let the floating bodies of neighbouring off transistors
+  charge up, arming the parasitic bipolar transistor.
+* A potential point is *protected* if the sub-structure that contains it is
+  connected directly to ground at its bottom — every body-charging path
+  then requires the device's source to be at ground, which keeps the body
+  low.
+* In a series composition, every child except the bottom one can never be
+  grounded, so its potential points must be discharged *now* (committed);
+  additionally the junction below such a child is itself committed when the
+  child ends in a parallel stack (that junction is the stack's
+  never-grounded bottom node), and merely potential otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .structure import Leaf, Parallel, Pulldown, Series
+
+#: Path-addressed discharge point: the junction below child ``index`` of the
+#: series node reached by following ``path`` (a tuple of child indices from
+#: the structure root).
+DischargePoint = Tuple[Tuple[int, ...], int]
+
+
+@dataclass(frozen=True)
+class DischargeAnalysis:
+    """Result of analysing one pulldown structure.
+
+    Attributes
+    ----------
+    committed:
+        Junctions that must receive a p-discharge transistor regardless of
+        whether the structure's bottom is grounded.
+    potential:
+        Junctions that need one only if the bottom is *not* grounded
+        (the paper's ``p_dis`` set).
+    ends_in_parallel:
+        The paper's ``par_b`` flag.
+    """
+
+    committed: Tuple[DischargePoint, ...]
+    potential: Tuple[DischargePoint, ...]
+    ends_in_parallel: bool
+
+    @property
+    def p_dis(self) -> int:
+        return len(self.potential)
+
+    def required(self, grounded: bool) -> Tuple[DischargePoint, ...]:
+        """Points that must be discharged given the grounding context."""
+        if grounded:
+            return self.committed
+        return self.committed + self.potential
+
+
+def analyse(structure: Pulldown) -> DischargeAnalysis:
+    """Compute the discharge-point sets of ``structure``."""
+    committed: List[DischargePoint] = []
+    potential: List[DischargePoint] = []
+    _walk(structure, (), committed, potential)
+    return DischargeAnalysis(tuple(committed), tuple(potential),
+                             structure.ends_in_parallel)
+
+
+def _walk(node: Pulldown, path: Tuple[int, ...],
+          committed: List[DischargePoint],
+          potential: List[DischargePoint]) -> None:
+    """Recursive classification; appends points to the two output lists."""
+    if isinstance(node, Leaf):
+        return
+    if isinstance(node, Parallel):
+        # Branch-internal points ride on the fate of the shared bottom node:
+        # they stay in whatever class the branch analysis puts them, and the
+        # shared bottom itself is represented by the junction of the
+        # *enclosing* series (or by the structure bottom).
+        for i, child in enumerate(node.children):
+            _walk(child, path + (i,), committed, potential)
+        return
+    if isinstance(node, Series):
+        last = len(node.children) - 1
+        for i, child in enumerate(node.children):
+            if i == last:
+                # The bottom child keeps its own classification: its
+                # potential points are protected iff the whole structure is.
+                _walk(child, path + (i,), committed, potential)
+                continue
+            # Non-bottom children can never be grounded: everything
+            # potential inside them is committed here.
+            sub_committed: List[DischargePoint] = []
+            sub_potential: List[DischargePoint] = []
+            _walk(child, path + (i,), sub_committed, sub_potential)
+            committed.extend(sub_committed)
+            committed.extend(sub_potential)
+            junction = (path, i)
+            if child.ends_in_parallel:
+                # The junction is the never-grounded bottom of a parallel
+                # stack: discharge it now.
+                committed.append(junction)
+            else:
+                # A series-internal junction: dangerous only if the overall
+                # bottom never reaches ground.
+                potential.append(junction)
+        return
+    raise TypeError(f"unknown structure node {type(node)!r}")
+
+
+def count_discharge_transistors(structure: Pulldown,
+                                grounded: bool = True) -> int:
+    """Number of p-discharge transistors the structure needs.
+
+    ``grounded=True`` corresponds to a formed domino gate whose stack bottom
+    connects to ground (footless) or to the n-clock foot, which the paper's
+    algorithm optimistically treats as grounded.
+    """
+    return len(analyse(structure).required(grounded))
+
+
+def p_dis(structure: Pulldown) -> int:
+    """The paper's ``p_dis`` parameter: count of potential discharge points."""
+    return analyse(structure).p_dis
+
+
+def par_b(structure: Pulldown) -> bool:
+    """The paper's ``par_b`` parameter: parallel stack at the bottom."""
+    return structure.ends_in_parallel

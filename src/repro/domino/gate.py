@@ -1,0 +1,145 @@
+"""Domino gate and transistor-accounting model.
+
+A :class:`DominoGate` bundles a pulldown structure with the fixed domino
+overhead devices and the p-discharge transistors required by the PBE
+analysis.  Accounting conventions follow the paper's section VI (see
+DESIGN.md section 6):
+
+* ``t_logic``   = pulldown nmos + p-clock precharge + output inverter (2)
+  + keeper + n-clock foot (footed gates only);
+* ``t_disch``   = clock-driven pmos pre-discharge transistors;
+* ``t_clock``   = p-clock + n-clock + p-discharge (everything loading the
+  clock network — Table III's metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import StructureError
+from .analysis import DischargePoint, analyse
+from .structure import Pulldown, has_primary_leaf
+
+#: Fixed non-foot overhead: p-clock precharge + 2-transistor output
+#: inverter + keeper.
+GATE_OVERHEAD = 4
+#: Additional n-clock foot transistor for gates with primary inputs.
+FOOT_OVERHEAD = 1
+
+
+@dataclass
+class DominoGate:
+    """A mapped domino gate.
+
+    Attributes
+    ----------
+    name:
+        Output signal name.
+    structure:
+        The nmos pulldown network.
+    footed:
+        Whether an n-clock foot transistor is present.  Per the paper, a
+        foot is required iff the pulldown has primary-input leaves.
+    discharge_points:
+        Junctions carrying a p-discharge transistor (path-addressed; see
+        :mod:`repro.domino.analysis`).
+    level:
+        Domino depth of this gate (1 + max level of driving gates).
+    node_id:
+        Mapping-node id this gate implements (optional bookkeeping).
+    """
+
+    name: str
+    structure: Pulldown
+    footed: bool
+    discharge_points: Tuple[DischargePoint, ...] = ()
+    level: int = 1
+    node_id: Optional[int] = None
+
+    @classmethod
+    def from_structure(cls, name: str, structure: Pulldown,
+                       grounded: bool = True, level: int = 1,
+                       node_id: Optional[int] = None) -> "DominoGate":
+        """Build a gate, deriving footedness and discharge points.
+
+        ``grounded`` selects the paper's optimistic policy (stack bottom
+        treated as ground, so only committed points are discharged) versus
+        the pessimistic one (potential points discharged too).
+        """
+        return cls(
+            name=name,
+            structure=structure,
+            footed=has_primary_leaf(structure),
+            discharge_points=analyse(structure).required(grounded),
+            level=level,
+            node_id=node_id,
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def t_pulldown(self) -> int:
+        """nmos transistors in the pulldown network."""
+        return self.structure.num_transistors
+
+    @property
+    def t_overhead(self) -> int:
+        """Precharge + inverter + keeper (+ foot when footed)."""
+        return GATE_OVERHEAD + (FOOT_OVERHEAD if self.footed else 0)
+
+    @property
+    def t_logic(self) -> int:
+        """All transistors except p-discharge (paper's ``T_logic``)."""
+        return self.t_pulldown + self.t_overhead
+
+    @property
+    def t_disch(self) -> int:
+        """p-discharge transistor count (paper's ``T_disch``)."""
+        return len(self.discharge_points)
+
+    @property
+    def t_total(self) -> int:
+        return self.t_logic + self.t_disch
+
+    @property
+    def t_clock(self) -> int:
+        """Clock-connected transistors: p-clock, optional n-clock, discharges."""
+        return 1 + (1 if self.footed else 0) + self.t_disch
+
+    @property
+    def width(self) -> int:
+        return self.structure.width
+
+    @property
+    def height(self) -> int:
+        return self.structure.height
+
+    def validate(self, w_max: int = None, h_max: int = None) -> None:
+        """Check internal consistency; raise :class:`StructureError` if broken."""
+        if self.footed != has_primary_leaf(self.structure):
+            raise StructureError(
+                f"gate {self.name}: footed={self.footed} inconsistent with "
+                f"primary leaves in pulldown")
+        if w_max is not None and self.width > w_max:
+            raise StructureError(f"gate {self.name}: width {self.width} > {w_max}")
+        if h_max is not None and self.height > h_max:
+            raise StructureError(f"gate {self.name}: height {self.height} > {h_max}")
+        analysis = analyse(self.structure)
+        allowed = set(analysis.committed) | set(analysis.potential)
+        for point in self.discharge_points:
+            if point not in allowed:
+                raise StructureError(
+                    f"gate {self.name}: discharge point {point} is not a "
+                    f"junction of the structure")
+        if not set(analysis.committed) <= set(self.discharge_points):
+            missing = set(analysis.committed) - set(self.discharge_points)
+            raise StructureError(
+                f"gate {self.name}: committed discharge points {missing} "
+                f"have no discharge transistor")
+
+    def __str__(self) -> str:
+        foot = "footed" if self.footed else "footless"
+        return (f"DominoGate({self.name}: {self.structure}, {foot}, "
+                f"disch={self.t_disch}, level={self.level})")

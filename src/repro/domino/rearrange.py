@@ -1,0 +1,54 @@
+"""Series-stack rearrangement (the RS_Map post-processing pass).
+
+Reordering the children of a series composition does not change the logic
+function, but it changes which discharge points are committed: parallel
+stacks and sub-structures rich in potential discharge points should sink
+toward ground, where grounding protects them (paper section V, Figure 5,
+and section VI-A).
+
+For each series node only the choice of *bottom* child affects the
+discharge count (upper children contribute ``committed + potential +
+par_b`` regardless of their relative order), so the pass recursively
+rearranges children and then moves the child with the largest
+``potential + par_b`` payoff to the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .analysis import analyse, count_discharge_transistors
+from .structure import Leaf, Parallel, Pulldown, Series
+
+
+def _payoff(child: Pulldown) -> int:
+    """Discharge transistors saved by placing ``child`` at the bottom."""
+    analysis = analyse(child)
+    return analysis.p_dis + (1 if child.ends_in_parallel else 0)
+
+
+def rearrange(structure: Pulldown) -> Pulldown:
+    """Return a logically equivalent structure with series stacks reordered.
+
+    Children of every series node are recursively rearranged; the child
+    with the highest :func:`_payoff` is placed at the bottom (closest to
+    ground).  Upper children keep their original relative order, so the
+    transformation is deterministic.
+    """
+    if isinstance(structure, Leaf):
+        return structure
+    if isinstance(structure, Parallel):
+        return Parallel(tuple(rearrange(c) for c in structure.children))
+    if isinstance(structure, Series):
+        children = [rearrange(c) for c in structure.children]
+        best = max(range(len(children)), key=lambda i: (_payoff(children[i]), i))
+        bottom = children.pop(best)
+        return Series(tuple(children + [bottom]))
+    raise TypeError(f"unknown structure node {type(structure)!r}")
+
+
+def discharge_saving(structure: Pulldown, grounded: bool = True) -> Tuple[int, int]:
+    """(before, after) discharge-transistor counts for ``structure``."""
+    before = count_discharge_transistors(structure, grounded)
+    after = count_discharge_transistors(rearrange(structure), grounded)
+    return before, after

@@ -1,0 +1,96 @@
+"""Parallel-stack elimination by transistor replication (§III-C, item 3).
+
+One of the paper's enumerated PBE countermeasures: "parallel stacks can
+be broken up by transistor replication.  For example, (A + B + C) * D
+can be re-implemented as A * D + B * D + C * D ...  If this
+implementation is connected to ground, there are no paths for transistor
+bodies to charge high, since parallel stacks have been eliminated.  A
+drawback of this approach is the cost requirement of duplicating logic
+for each finger of a potentially wide parallel stack."
+
+:func:`split_parallel_stacks` applies the distributive law to a pulldown
+structure until it is a single parallel composition of pure series
+chains (sum-of-products form).  All internal parallel stacks disappear:
+with the one remaining stack's bottom at ground, the structure has no
+discharge points at all — at the price of replicated transistors, which
+is exactly the trade-off the paper rejects for wide stacks and this
+module quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .analysis import analyse
+from .structure import Leaf, Parallel, Pulldown, Series, parallel, series
+
+
+def _chains(structure: Pulldown) -> List[Tuple[Leaf, ...]]:
+    """Expand a structure into its conduction chains (top-to-bottom)."""
+    if isinstance(structure, Leaf):
+        return [(structure,)]
+    if isinstance(structure, Parallel):
+        out: List[Tuple[Leaf, ...]] = []
+        for child in structure.children:
+            out.extend(_chains(child))
+        return out
+    if isinstance(structure, Series):
+        acc: List[Tuple[Leaf, ...]] = [()]
+        for child in structure.children:
+            child_chains = _chains(child)
+            acc = [prefix + chain for prefix in acc for chain in child_chains]
+        return acc
+    raise TypeError(f"unknown structure node {type(structure)!r}")
+
+
+def split_parallel_stacks(structure: Pulldown) -> Pulldown:
+    """Rewrite ``structure`` as a parallel composition of series chains.
+
+    The result computes the same conduction function (the distributive
+    law) and contains no nested parallel stacks, hence no discharge
+    points when its bottom is grounded.
+    """
+    chains = [series(*chain) for chain in _chains(structure)]
+    return parallel(*chains)
+
+
+@dataclass(frozen=True)
+class SplitCost:
+    """Cost comparison of replication vs discharge transistors."""
+
+    original_transistors: int
+    original_discharges: int      #: p-discharge transistors needed (grounded)
+    split_transistors: int        #: transistors after replication
+    split_width: int              #: resulting parallel width
+
+    @property
+    def replication_overhead(self) -> int:
+        """Extra pulldown transistors the replication costs."""
+        return self.split_transistors - self.original_transistors
+
+    @property
+    def replication_wins(self) -> bool:
+        """True when replication costs fewer devices than discharging."""
+        return self.replication_overhead < self.original_discharges
+
+    def __str__(self) -> str:
+        return (f"SplitCost(original {self.original_transistors}+"
+                f"{self.original_discharges}disch, split "
+                f"{self.split_transistors}, W={self.split_width})")
+
+
+def split_cost(structure: Pulldown) -> SplitCost:
+    """Quantify the §III-C replication-vs-discharge trade-off."""
+    split = split_parallel_stacks(structure)
+    analysis = analyse(split)
+    # Chain-internal junctions remain *potential* points, protected by the
+    # grounded stack bottom; nothing is ever committed.
+    assert not analysis.committed, \
+        "a sum-of-products structure commits no discharge points"
+    return SplitCost(
+        original_transistors=structure.num_transistors,
+        original_discharges=len(analyse(structure).required(True)),
+        split_transistors=split.num_transistors,
+        split_width=split.width,
+    )

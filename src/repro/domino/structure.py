@@ -1,0 +1,200 @@
+"""Series/parallel pulldown-network structures for domino gates.
+
+A domino gate's nmos pulldown network is modelled as a series/parallel
+tree whose leaves are single transistors.  Each leaf records the signal
+driving its transistor gate: either a primary input (both phases allowed
+after unate conversion) or the output of another domino gate.
+
+Width ``W`` (parallel transistor count) and height ``H`` (series depth)
+follow the paper's conventions: a leaf is ``{W=1, H=1}``, a series
+composition is ``{max(W_i), sum(H_i)}``, a parallel composition is
+``{sum(W_i), max(H_i)}``.
+
+Series children are stored **top first**: ``children[0]`` connects toward
+the dynamic node, ``children[-1]`` toward ground (or the n-clock foot).
+The top/bottom distinction is what the Parasitic Bipolar Effect analysis
+is all about.
+
+All metrics (``width``, ``height``, ``num_transistors``, primary-leaf
+presence) are computed once at construction, so the mapper's inner loop
+reads them in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..errors import StructureError
+
+
+class Leaf:
+    """A single nmos transistor.
+
+    Attributes
+    ----------
+    signal:
+        Name of the driving signal.
+    is_primary:
+        True if the signal is a primary input (the containing gate then
+        needs an n-clock foot transistor).
+    source_gate:
+        For non-primary leaves, an opaque reference identifying the domino
+        gate (mapping-node id) whose output drives this transistor.
+    """
+
+    __slots__ = ("signal", "is_primary", "source_gate")
+
+    width = 1
+    height = 1
+    num_transistors = 1
+    #: ``par_b`` of a single transistor: no parallel stack at the bottom.
+    ends_in_parallel = False
+
+    def __init__(self, signal: str, is_primary: bool = True,
+                 source_gate: Optional[int] = None):
+        self.signal = signal
+        self.is_primary = is_primary
+        self.source_gate = source_gate
+
+    @property
+    def has_primary(self) -> bool:
+        return self.is_primary
+
+    def leaves(self) -> Iterator["Leaf"]:
+        yield self
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Leaf) and self.signal == other.signal
+                and self.is_primary == other.is_primary
+                and self.source_gate == other.source_gate)
+
+    def __hash__(self) -> int:
+        return hash(("leaf", self.signal, self.is_primary, self.source_gate))
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.signal!r})"
+
+    def __str__(self) -> str:
+        return self.signal
+
+
+class _Composite:
+    """Shared implementation of series/parallel composition nodes."""
+
+    __slots__ = ("children", "width", "height", "num_transistors",
+                 "has_primary")
+
+    def __init__(self, children: Tuple["Pulldown", ...]):
+        if len(children) < 2:
+            raise StructureError(
+                f"{type(self).__name__} requires at least 2 children")
+        # Flatten nested nodes of the same kind: keeps top-to-bottom order
+        # intact and makes structural equality insensitive to the order in
+        # which the mapper combined sub-structures.
+        flat: List[Pulldown] = []
+        for child in children:
+            if isinstance(child, type(self)):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        self.children = tuple(flat)
+        self.num_transistors = sum(c.num_transistors for c in self.children)
+        self.has_primary = any(c.has_primary for c in self.children)
+
+    def leaves(self) -> Iterator[Leaf]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.children!r})"
+
+
+class Series(_Composite):
+    """Series composition; ``children[0]`` is at the top (dynamic-node side)."""
+
+    __slots__ = ()
+
+    def __init__(self, children: Tuple["Pulldown", ...]):
+        super().__init__(children)
+        self.width = max(c.width for c in self.children)
+        self.height = sum(c.height for c in self.children)
+
+    @property
+    def top(self) -> "Pulldown":
+        return self.children[0]
+
+    @property
+    def bottom(self) -> "Pulldown":
+        return self.children[-1]
+
+    @property
+    def ends_in_parallel(self) -> bool:
+        """``par_b``: true when the bottom-most element is a parallel stack."""
+        return self.bottom.ends_in_parallel
+
+    def __str__(self) -> str:
+        return "[" + " ; ".join(str(c) for c in self.children) + "]"
+
+
+class Parallel(_Composite):
+    """Parallel composition of two or more branches."""
+
+    __slots__ = ()
+
+    ends_in_parallel = True
+
+    def __init__(self, children: Tuple["Pulldown", ...]):
+        super().__init__(children)
+        self.width = sum(c.width for c in self.children)
+        self.height = max(c.height for c in self.children)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+Pulldown = Union[Leaf, Series, Parallel]
+
+
+def series(*parts: Pulldown) -> Pulldown:
+    """Series composition, top first; collapses the single-element case."""
+    if not parts:
+        raise StructureError("series() needs at least one part")
+    if len(parts) == 1:
+        return parts[0]
+    return Series(tuple(parts))
+
+
+def parallel(*parts: Pulldown) -> Pulldown:
+    """Parallel composition; collapses the single-element case."""
+    if not parts:
+        raise StructureError("parallel() needs at least one part")
+    if len(parts) == 1:
+        return parts[0]
+    return Parallel(tuple(parts))
+
+
+def has_primary_leaf(structure: Pulldown) -> bool:
+    """True if any transistor is driven by a primary input."""
+    return structure.has_primary
+
+
+def gate_leaf_refs(structure: Pulldown) -> List[int]:
+    """Mapping-node ids of all domino-gate-driven leaves (with repeats)."""
+    return [leaf.source_gate for leaf in structure.leaves()
+            if leaf.source_gate is not None]
+
+
+def check_limits(structure: Pulldown, w_max: int, h_max: int) -> None:
+    """Raise :class:`StructureError` if W/H limits are violated."""
+    if structure.width > w_max:
+        raise StructureError(
+            f"structure width {structure.width} exceeds Wmax={w_max}")
+    if structure.height > h_max:
+        raise StructureError(
+            f"structure height {structure.height} exceeds Hmax={h_max}")

@@ -1,0 +1,152 @@
+"""Elmore-style delay estimation for domino pulldown networks.
+
+The paper deliberately maps with technology-neutral metrics ("reordering
+changes delay, but since diffusion capacitances are relatively low, we
+ignore them as a first order approximation") and defers detailed timing
+to "a followup technology-specific optimization step".  This module is
+that follow-up step's entry point: a classical Elmore RC estimate of the
+evaluation delay of a mapped gate and of a whole circuit's critical path,
+so the delay impact of stack reordering, discharge transistors and gate
+granularity can be quantified.
+
+Model (unit-normalized):
+
+* every nmos pulldown transistor contributes ``R_ON`` series resistance
+  on its conduction path and ``C_DIFF`` diffusion capacitance to each of
+  its terminals;
+* each p-discharge transistor adds ``C_DIFF`` to its junction (its load
+  is why the paper penalizes them with the ``k`` cost);
+* the worst-case evaluation path is the structure's slowest
+  top-to-bottom conduction path; Elmore delay sums, per node on the
+  path, the resistance from ground times the capacitance hanging there;
+* the gate adds a fixed output-inverter delay, and the keeper and
+  precharge device contribute load on the dynamic node.
+
+Absolute numbers are unit-less; only comparisons are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .circuit import DominoCircuit
+from .gate import DominoGate
+from .structure import Leaf, Parallel, Pulldown, Series
+
+#: Unit on-resistance of one nmos pulldown transistor.
+R_ON = 1.0
+#: Unit diffusion capacitance contributed per transistor terminal.
+C_DIFF = 0.15
+#: Gate (input) capacitance presented by one transistor.
+C_GATE = 1.0
+#: Fixed dynamic-node load: precharge drain + keeper drain + inverter gates.
+C_DYNAMIC_FIXED = 2.0
+#: Fixed output-inverter delay.
+T_INVERTER = 1.0
+
+
+@dataclass(frozen=True)
+class GateDelay:
+    """Evaluation-delay estimate of one domino gate."""
+
+    worst_path: float        #: Elmore delay of the slowest pulldown path
+    dynamic_load: float      #: capacitance on the dynamic node
+    total: float             #: worst_path + inverter delay
+
+    def __str__(self) -> str:
+        return f"GateDelay({self.total:.2f} units)"
+
+
+def _path_delays(structure: Pulldown, depth_from_ground: int,
+                 disch_nodes: int) -> Tuple[float, float]:
+    """(worst Elmore contribution, capacitance seen at the top node).
+
+    Returns the worst-case Elmore sum of the structure assuming its
+    bottom sits ``depth_from_ground`` devices above ground, plus the
+    diffusion capacitance presented at its top node.
+    """
+    if isinstance(structure, Leaf):
+        # One device: its top-terminal diffusion; delay contribution is
+        # accounted by the caller walking node by node.
+        return 0.0, C_DIFF
+    if isinstance(structure, Parallel):
+        worst = 0.0
+        cap = 0.0
+        for child in structure.children:
+            w, c = _path_delays(child, depth_from_ground, disch_nodes)
+            worst = max(worst, w)
+            cap += c
+        return worst, cap
+    if isinstance(structure, Series):
+        # Walk bottom-up: each junction node sees the resistance of every
+        # device below it on the conducting path.
+        worst = 0.0
+        height_below = depth_from_ground
+        cap_top = 0.0
+        children = list(reversed(structure.children))
+        for index, child in enumerate(children):
+            w, cap_at_child_top = _path_delays(child, height_below,
+                                               disch_nodes)
+            worst += w
+            height_below += child.height
+            cap_top = cap_at_child_top
+            if index == len(children) - 1:
+                # the node above the top child is the enclosing context's
+                # node (ultimately the dynamic node): charged by the caller
+                break
+            # the junction above this child carries its top diffusion
+            # (plus the next child's bottom diffusion, folded into C_DIFF)
+            resistance_below = R_ON * height_below
+            worst += resistance_below * (cap_at_child_top + C_DIFF)
+        return worst, cap_top
+    raise TypeError(f"unknown structure node {type(structure)!r}")
+
+
+def gate_delay(gate: DominoGate) -> GateDelay:
+    """Elmore evaluation-delay estimate of one gate."""
+    base_depth = 1 if gate.footed else 0  # the n-clock foot is on the path
+    worst, cap_top = _path_delays(gate.structure, base_depth, gate.t_disch)
+    # Dynamic-node discharge: total path resistance times the node load.
+    dynamic_load = (C_DYNAMIC_FIXED + cap_top
+                    + C_DIFF * gate.t_disch)
+    path_resistance = R_ON * (gate.structure.height + base_depth)
+    worst += path_resistance * dynamic_load
+    return GateDelay(worst_path=worst, dynamic_load=dynamic_load,
+                     total=worst + T_INVERTER)
+
+
+@dataclass(frozen=True)
+class CircuitTiming:
+    """Critical-path estimate of a mapped circuit."""
+
+    critical_path: float
+    critical_gate: str                   #: last gate on the critical path
+    arrival: Dict[str, float]            #: per-gate output arrival times
+
+    def __str__(self) -> str:
+        return (f"critical path {self.critical_path:.2f} units "
+                f"(through {self.critical_gate})")
+
+
+def circuit_timing(circuit: DominoCircuit) -> CircuitTiming:
+    """Topological critical-path analysis over the mapped circuit.
+
+    Primary inputs arrive at time 0; each gate's output arrives at the
+    latest driver arrival plus its own evaluation delay.
+    """
+    arrival: Dict[str, float] = {}
+    critical_gate = ""
+    critical = 0.0
+    for gate in circuit._topological_gates():
+        start = 0.0
+        for leaf in gate.structure.leaves():
+            if not leaf.is_primary:
+                start = max(start, arrival[leaf.signal])
+        t = start + gate_delay(gate).total
+        arrival[gate.name] = t
+        if t > critical:
+            critical = t
+            critical_gate = gate.name
+    return CircuitTiming(critical_path=critical, critical_gate=critical_gate,
+                         arrival=arrival)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """A logic network is malformed (cycles, bad fanin, unknown node ids)."""
+
+
+class ParseError(ReproError):
+    """An input netlist file could not be parsed.
+
+    Attributes
+    ----------
+    filename:
+        Name of the offending file (may be ``"<string>"``).
+    lineno:
+        1-based line number where the problem was detected, or ``None``.
+    """
+
+    def __init__(self, message: str, filename: str = "<string>", lineno=None):
+        self.filename = filename
+        self.lineno = lineno
+        location = filename if lineno is None else f"{filename}:{lineno}"
+        super().__init__(f"{location}: {message}")
+
+
+class UnateConversionError(ReproError):
+    """The bubble-pushing pass could not produce a unate network."""
+
+
+class MappingError(ReproError):
+    """Technology mapping failed (e.g. no feasible tuple for a node)."""
+
+
+class StructureError(ReproError):
+    """A pulldown structure tree is malformed or violates W/H limits."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven with inconsistent inputs or state."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark circuit could not be generated or was misconfigured."""

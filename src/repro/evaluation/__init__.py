@@ -1,0 +1,26 @@
+"""Reproduction harness for the paper's evaluation (Tables I-IV)."""
+
+from . import paper_data
+from .formats import percent, render_table
+from .tables import (
+    RUNNERS,
+    TableResult,
+    run_all,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "paper_data",
+    "percent",
+    "render_table",
+    "RUNNERS",
+    "TableResult",
+    "run_all",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table (numbers right-aligned)."""
+    cells: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(
+            cell.rjust(w) if _numeric(cell) else cell.ljust(w)
+            for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return cell.endswith("%") and _numeric(cell[:-1])
+
+
+def percent(before: float, after: float) -> float:
+    """Percentage reduction from ``before`` to ``after`` (0 when before=0)."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before

@@ -1,0 +1,36 @@
+"""Netlist readers and writers (.bench, BLIF, PLA, DOT, SPICE-style)."""
+
+from .bench import load_bench, read_bench, save_bench, write_bench
+from .blif import load_blif, read_blif, save_blif, write_blif
+from .pla import load_pla, read_pla
+from .dot import (
+    circuit_to_dot,
+    network_to_dot,
+    write_circuit_dot,
+    write_network_dot,
+)
+from .netlist_text import (
+    circuit_netlist,
+    write_circuit_netlist,
+    write_gate_netlist,
+)
+
+__all__ = [
+    "load_bench",
+    "read_bench",
+    "save_bench",
+    "write_bench",
+    "load_blif",
+    "read_blif",
+    "save_blif",
+    "write_blif",
+    "load_pla",
+    "read_pla",
+    "circuit_to_dot",
+    "network_to_dot",
+    "write_circuit_dot",
+    "write_network_dot",
+    "circuit_netlist",
+    "write_circuit_netlist",
+    "write_gate_netlist",
+]

@@ -1,0 +1,86 @@
+"""Graphviz DOT export for logic networks and mapped domino circuits."""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from ..domino.circuit import DominoCircuit
+from ..network import LogicNetwork, NodeType
+
+_SHAPES = {
+    NodeType.PI: ("triangle", "lightblue"),
+    NodeType.PO: ("invtriangle", "lightblue"),
+    NodeType.AND: ("box", "white"),
+    NodeType.OR: ("ellipse", "white"),
+    NodeType.NAND: ("box", "gray90"),
+    NodeType.NOR: ("ellipse", "gray90"),
+    NodeType.XOR: ("diamond", "white"),
+    NodeType.XNOR: ("diamond", "gray90"),
+    NodeType.INV: ("circle", "pink"),
+    NodeType.BUF: ("circle", "white"),
+    NodeType.CONST0: ("plaintext", "white"),
+    NodeType.CONST1: ("plaintext", "white"),
+}
+
+
+def write_network_dot(network: LogicNetwork, handle: TextIO) -> None:
+    """Render a logic network as a DOT digraph (PIs at top, POs at bottom)."""
+    handle.write(f'digraph "{network.name}" {{\n  rankdir=TB;\n')
+    for node in network:
+        shape, fill = _SHAPES[node.type]
+        label = f"{node.label}\\n{node.type.value}"
+        handle.write(
+            f'  n{node.uid} [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor={fill}];\n')
+    for node in network:
+        for fanin in node.fanins:
+            handle.write(f"  n{fanin} -> n{node.uid};\n")
+    handle.write("}\n")
+
+
+def write_circuit_dot(circuit: DominoCircuit, handle: TextIO) -> None:
+    """Render a mapped domino circuit as a DOT digraph.
+
+    Each gate node is annotated with its pulldown shape, discharge count
+    and level; edges follow the signal wiring.
+    """
+    handle.write(f'digraph "{circuit.name}" {{\n  rankdir=TB;\n')
+    for name in circuit.inputs:
+        handle.write(f'  "{name}" [shape=triangle, style=filled, '
+                     f'fillcolor=lightblue];\n')
+    for gate in circuit.gates:
+        foot = "footed" if gate.footed else "footless"
+        label = (f"{gate.name}\\nW={gate.width} H={gate.height}\\n"
+                 f"disch={gate.t_disch} {foot}\\nL{gate.level}")
+        color = "mistyrose" if gate.t_disch else "honeydew"
+        handle.write(f'  "{gate.name}" [label="{label}", shape=box, '
+                     f'style=filled, fillcolor={color}];\n')
+    for gate in circuit.gates:
+        seen = set()
+        for leaf in gate.structure.leaves():
+            if leaf.signal not in seen:
+                seen.add(leaf.signal)
+                handle.write(f'  "{leaf.signal}" -> "{gate.name}";\n')
+    for po, signal in circuit.outputs.items():
+        handle.write(f'  "PO:{po}" [shape=invtriangle, style=filled, '
+                     f'fillcolor=lightblue];\n')
+        handle.write(f'  "{signal}" -> "PO:{po}";\n')
+    handle.write("}\n")
+
+
+def network_to_dot(network: LogicNetwork) -> str:
+    """Return the DOT text for a network."""
+    import io
+
+    buf = io.StringIO()
+    write_network_dot(network, buf)
+    return buf.getvalue()
+
+
+def circuit_to_dot(circuit: DominoCircuit) -> str:
+    """Return the DOT text for a mapped circuit."""
+    import io
+
+    buf = io.StringIO()
+    write_circuit_dot(circuit, buf)
+    return buf.getvalue()

@@ -1,0 +1,82 @@
+"""SPICE-style transistor netlist writer for mapped domino circuits.
+
+Emits one subcircuit per domino gate with every device the accounting
+counts: pulldown nmos transistors, the p-clock precharge device, the
+output inverter, the keeper, the optional n-clock foot, and the p-discharge
+transistors.  The node names match :mod:`repro.pbe.netlist` so the written
+netlist corresponds device-for-device to what the PBE simulator simulates
+(and the test suite cross-checks the device counts against
+:meth:`DominoGate.t_total`).
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from ..domino.circuit import DominoCircuit
+from ..domino.gate import DominoGate
+from ..pbe.netlist import FOOT, GND, TOP, flatten_gate
+
+
+def write_gate_netlist(gate: DominoGate, handle: TextIO) -> int:
+    """Write one gate as a SPICE subcircuit; returns the device count."""
+    flat = flatten_gate(gate)
+    ports = sorted({t.signal for t in flat.transistors})
+    handle.write(f".subckt {gate.name} out clk {' '.join(ports)}\n")
+    count = 0
+
+    def emit(card: str) -> None:
+        nonlocal count
+        count += 1
+        handle.write(card + "\n")
+
+    # Pulldown network.
+    for i, t in enumerate(flat.transistors):
+        emit(f"MN{i} {t.upper} {t.signal} {t.lower} body_n{i} nmos_soi")
+    # Precharge pmos: drain=dynamic node, gate=clk, source=vdd.
+    emit(f"MPC {TOP} clk vdd vdd pmos_soi")
+    # Output inverter.
+    emit(f"MPI out {TOP} vdd vdd pmos_soi")
+    emit(f"MNI out {TOP} {GND} {GND} nmos_soi")
+    # Keeper pmos, driven by the output.
+    emit(f"MPK {TOP} out vdd vdd pmos_soi")
+    # n-clock foot (footed gates only).
+    if gate.footed:
+        emit(f"MNF {FOOT} clk {GND} {GND} nmos_soi")
+    # p-discharge transistors: on during precharge (clk low).
+    for i, node in enumerate(flat.discharge_nodes):
+        emit(f"MPD{i} {node} clk {GND} vdd pmos_soi")
+    handle.write(f".ends {gate.name}\n")
+    return count
+
+
+def write_circuit_netlist(circuit: DominoCircuit, handle: TextIO) -> int:
+    """Write the whole circuit; returns the total device count.
+
+    The returned count equals ``circuit.cost().t_total`` — the inverter,
+    keeper and clock devices are part of ``t_logic`` in the paper's
+    accounting, and every one of them is emitted here.
+    """
+    handle.write(f"* domino circuit {circuit.name}\n")
+    handle.write(f"* inputs: {' '.join(circuit.inputs)}\n")
+    handle.write(f"* outputs: "
+                 f"{' '.join(f'{po}<-{sig}' for po, sig in circuit.outputs.items())}\n")
+    total = 0
+    for gate in circuit.gates:
+        total += write_gate_netlist(gate, handle)
+    handle.write("* instance wiring\n")
+    for gate in circuit.gates:
+        ports = sorted({t.signal for t in flatten_gate(gate).transistors})
+        handle.write(f"X{gate.name} {gate.name} clk {' '.join(ports)} "
+                     f"{gate.name}\n")
+    handle.write(".end\n")
+    return total
+
+
+def circuit_netlist(circuit: DominoCircuit) -> str:
+    """Return the netlist text for a circuit."""
+    import io
+
+    buf = io.StringIO()
+    write_circuit_netlist(circuit, buf)
+    return buf.getvalue()

@@ -1,0 +1,41 @@
+"""Technology mapping: the paper's algorithms and their cost models."""
+
+from .cost import AreaCost, ClockWeightedCost, CostModel, DepthCost
+from .tuples import MapTuple, TupleTable
+from .engine import (
+    GateRecord,
+    MapperConfig,
+    MappingEngine,
+    MappingResult,
+    map_network,
+)
+from .flows import (
+    PAPER_H_MAX,
+    PAPER_W_MAX,
+    FlowResult,
+    domino_map,
+    prepare_network,
+    rs_map,
+    soi_domino_map,
+)
+
+__all__ = [
+    "AreaCost",
+    "ClockWeightedCost",
+    "CostModel",
+    "DepthCost",
+    "MapTuple",
+    "TupleTable",
+    "GateRecord",
+    "MapperConfig",
+    "MappingEngine",
+    "MappingResult",
+    "map_network",
+    "PAPER_H_MAX",
+    "PAPER_W_MAX",
+    "FlowResult",
+    "domino_map",
+    "prepare_network",
+    "rs_map",
+    "soi_domino_map",
+]

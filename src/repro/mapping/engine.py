@@ -1,0 +1,461 @@
+"""The dynamic-programming technology-mapping engine.
+
+Implements the framework of Zhao & Sapatnekar (ICCAD'98) as described in
+the paper's section IV, with the SOI/PBE extensions of section V switched
+on by ``pbe_aware=True``:
+
+* every node of the (unate, 2-input AND/OR) input network gets a table of
+  ``{W, H}`` sub-solutions;
+* ``combine_or`` / ``combine_and`` merge fanin tuples, with the PBE-aware
+  variant tracking ``p_dis``/``par_b``, ordering series stacks, and
+  committing discharge transistors;
+* each node's best sub-solution can be *formed* into a domino gate
+  (p-clock + output inverter + keeper, plus an n-clock foot when the
+  pulldown touches primary inputs), at which point it is visible to
+  fanouts as a ``{1, 1}`` input;
+* multi-fanout nodes and PO drivers are forced gate boundaries (the DP is
+  exact over the fanout-free trees in between, the classical tree-mapping
+  regime);
+* finally the chosen gates are materialized into a
+  :class:`~repro.domino.circuit.DominoCircuit`.
+
+Discharge transistors:
+
+* PBE-aware mapping commits them *during* combination (the paper's
+  algorithm, listing 2) and the materialized gates carry exactly the
+  committed points (optimistic grounding) or additionally the residual
+  ``p_dis`` points (pessimistic grounding);
+* non-PBE-aware mapping ignores them entirely; the returned gates still
+  receive the discharge transistors demanded by the structural analysis —
+  that is the paper's "added in a post-processing step".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..domino.analysis import analyse
+from ..domino.circuit import CircuitCost, DominoCircuit
+from ..domino.gate import DominoGate
+from ..domino.rearrange import rearrange
+from ..domino.structure import Leaf, Pulldown, parallel, series
+from ..errors import MappingError
+from ..network import LogicNetwork, NodeType
+from .cost import CostModel
+from .tuples import MapTuple, TupleTable
+
+#: How combine_and orders its operands.
+ORDERING_RULES = ("paper", "naive", "adverse", "exhaustive")
+#: What gate formation assumes about the stack bottom.
+GROUND_POLICIES = ("optimistic", "footless", "pessimistic")
+
+
+@dataclass
+class MapperConfig:
+    """Configuration of one mapping run.
+
+    Attributes
+    ----------
+    w_max, h_max:
+        Pulldown width/height limits (the paper uses 5 and 8).
+    pbe_aware:
+        True for SOI_Domino_Map, False for the bulk baseline Domino_Map.
+    ordering:
+        ``"paper"`` — the par_b/p_dis rule of section V; ``"naive"`` —
+        first operand always on top; ``"adverse"`` — parallel stacks rise
+        toward the dynamic node, the conventional bulk-CMOS structure the
+        paper's Figure 2(a) depicts (wide stacks high for evaluation
+        speed, internal nodes handled with clocked transistors) — this is
+        the bulk baseline's behaviour; ``"exhaustive"`` — try both orders
+        and keep the better tuple.
+    ground_policy:
+        ``"optimistic"`` — a formed gate's stack bottom counts as grounded,
+        so residual potential discharge points need no transistor (the
+        paper's assumption); ``"footless"`` — only footless gates (no
+        primary inputs, stack bottom wired straight to ground) enjoy that
+        protection, while footed gates (bottom above the n-clock, which is
+        off during precharge) discharge their residual points — the
+        paper's section VII observation; ``"pessimistic"`` — every gate
+        discharges all residual points (full worst case).
+    pareto:
+        Keep a Pareto front per ``{W, H}`` slot instead of a single tuple.
+    rearrange_gates:
+        Post-process every materialized gate with the series-stack
+        rearrangement pass (RS_Map).
+    duplication:
+        Fanout handling.  ``True`` (the paper's regime, following [23]):
+        every consumer of a multi-fanout node sees the node's full tuple
+        set and may absorb a private copy of its logic — small shared
+        sub-functions get duplicated into the consuming pulldowns, large
+        ones form shared gates, which is what produces the wide domino
+        gates the paper reports.  ``False``: multi-fanout nodes are forced
+        gate boundaries (classical duplication-free tree mapping).
+    """
+
+    w_max: int = 5
+    h_max: int = 8
+    pbe_aware: bool = True
+    ordering: str = "paper"
+    ground_policy: str = "optimistic"
+    pareto: bool = False
+    rearrange_gates: bool = False
+    duplication: bool = True
+
+    def __post_init__(self):
+        if self.w_max < 1 or self.h_max < 2:
+            raise MappingError(
+                f"infeasible limits w_max={self.w_max}, h_max={self.h_max}")
+        if self.ordering not in ORDERING_RULES:
+            raise MappingError(f"unknown ordering rule {self.ordering!r}")
+        if self.ground_policy not in GROUND_POLICIES:
+            raise MappingError(f"unknown ground policy {self.ground_policy!r}")
+
+
+@dataclass
+class GateRecord:
+    """The formed-gate entry of one mapping node."""
+
+    node_id: int
+    tuple: MapTuple
+    wcost: float      #: accumulated cost including overhead (and, under the
+                      #: pessimistic policy, the residual p_dis discharges)
+    trans: int        #: raw transistors including overhead + discharges
+    disch: int        #: discharge transistors inside this gate's subtree
+    levels: int       #: domino level of this gate's output
+    footed: bool
+
+
+@dataclass
+class MappingResult:
+    """Outcome of a mapping run."""
+
+    circuit: DominoCircuit
+    config: MapperConfig
+    cost_model: CostModel
+    #: mapping-node id -> GateRecord for every *materialized* gate
+    gate_records: Dict[int, GateRecord] = field(default_factory=dict)
+    #: number of DP tuples created (profiling/regression metric)
+    tuples_created: int = 0
+
+    @property
+    def cost(self) -> CircuitCost:
+        return self.circuit.cost()
+
+
+class MappingEngine:
+    """Runs one technology-mapping DP over a unate network."""
+
+    def __init__(self, network: LogicNetwork, cost_model: CostModel,
+                 config: Optional[MapperConfig] = None):
+        if not network.is_mappable():
+            raise MappingError(
+                f"network {network.name!r} is not mappable: run decompose() "
+                "and unate conversion first (2-input AND/OR only)")
+        self.network = network
+        self.model = cost_model
+        self.config = config or MapperConfig()
+        self._tables: Dict[int, TupleTable] = {}
+        self._gates: Dict[int, GateRecord] = {}
+        self._forced: Dict[int, bool] = {}
+        self._tuples_created = 0
+
+    # ------------------------------------------------------------------
+    # leaf tuples
+    # ------------------------------------------------------------------
+    def _pi_tuple(self, uid: int) -> MapTuple:
+        node = self.network.node(uid)
+        return MapTuple(
+            width=1, height=1,
+            wcost=self.model.leaf_cost(), trans=1, disch=0, levels=0,
+            p_dis=0, par_b=False, has_pi=True,
+            structure=Leaf(node.label, is_primary=True),
+        )
+
+    def _gate_input_tuple(self, record: GateRecord, sunk: bool,
+                          fanout: int = 1) -> MapTuple:
+        """A formed gate seen as a ``{1,1}`` input of the next level.
+
+        ``sunk=True`` for forced boundaries (multi-fanout / PO drivers in
+        duplication-free mode): the gate exists exactly once regardless of
+        the fanout's choices, so only the driven transistor is charged
+        here.  ``sunk=False`` for an optional gate, whose subtree cost
+        must compete against the node's unformed structures; a shared gate
+        is built once but seen by ``fanout`` consumers, so its cost is
+        amortized (the classical area-flow estimate) — without this the
+        DP systematically over-duplicates shared logic.
+        """
+        share = max(1, fanout)
+        base_w = 0.0 if sunk else record.wcost / share
+        base_t = 0 if sunk else record.trans
+        base_d = 0 if sunk else record.disch
+        return MapTuple(
+            width=1, height=1,
+            wcost=base_w + self.model.leaf_cost(),
+            trans=base_t + 1,
+            disch=base_d,
+            levels=record.levels,
+            p_dis=0, par_b=False, has_pi=False,
+            structure=Leaf(f"g{record.node_id}", is_primary=False,
+                           source_gate=record.node_id),
+        )
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def _combine_or(self, a: MapTuple, b: MapTuple) -> Optional[MapTuple]:
+        width = a.width + b.width
+        height = max(a.height, b.height)
+        if width > self.config.w_max or height > self.config.h_max:
+            return None
+        p_dis = (a.p_dis + b.p_dis) if self.config.pbe_aware else 0
+        return MapTuple(
+            width=width, height=height,
+            wcost=a.wcost + b.wcost,
+            trans=a.trans + b.trans,
+            disch=a.disch + b.disch,
+            levels=max(a.levels, b.levels),
+            p_dis=p_dis,
+            # inside a parallel stack every potential point rides on the
+            # stack's shared bottom node: all of them are "tail" points
+            p_tail=p_dis,
+            par_b=True,
+            has_pi=a.has_pi or b.has_pi,
+            structure=parallel(a.structure, b.structure),
+        )
+
+    def _combine_and_ordered(self, top: MapTuple,
+                             bottom: MapTuple) -> Optional[MapTuple]:
+        width = max(top.width, bottom.width)
+        height = top.height + bottom.height
+        if width > self.config.w_max or height > self.config.h_max:
+            return None
+        if self.config.pbe_aware:
+            if top.par_b:
+                # The new junction is the never-grounded bottom node of
+                # the top's trailing parallel stack: discharge it and the
+                # stack's internal (tail) points now.  The top's spine
+                # junctions keep their own classification.
+                committed = top.p_tail + 1
+                p_dis = (top.p_dis - top.p_tail) + bottom.p_dis
+            else:
+                # Series-ending top: the junction joins the combined
+                # spine as a new potential point; nothing commits.
+                committed = 0
+                p_dis = top.p_dis + 1 + bottom.p_dis
+            p_tail = bottom.p_tail
+            par_b = bottom.par_b
+        else:
+            committed = 0
+            p_dis = 0
+            p_tail = 0
+            par_b = False
+        return MapTuple(
+            width=width, height=height,
+            wcost=(top.wcost + bottom.wcost
+                   + committed * self.model.discharge_cost()),
+            trans=top.trans + bottom.trans + committed,
+            disch=top.disch + bottom.disch + committed,
+            levels=max(top.levels, bottom.levels),
+            p_dis=p_dis,
+            p_tail=p_tail,
+            par_b=par_b,
+            has_pi=top.has_pi or bottom.has_pi,
+            structure=series(top.structure, bottom.structure),
+        )
+
+    def _combine_and(self, a: MapTuple, b: MapTuple) -> List[MapTuple]:
+        """Apply the configured ordering rule; returns 0-2 candidates."""
+        ordering = self.config.ordering
+        if ordering == "adverse" or (not self.config.pbe_aware
+                                     and ordering != "naive"):
+            # Bulk-CMOS habit (Figure 2(a)): the parallel stack rises
+            # toward the dynamic node.
+            a_par = a.structure.ends_in_parallel
+            b_par = b.structure.ends_in_parallel
+            if b_par and not a_par:
+                a, b = b, a
+            candidate = self._combine_and_ordered(a, b)
+            return [candidate] if candidate else []
+        if not self.config.pbe_aware or ordering == "naive":
+            candidate = self._combine_and_ordered(a, b)
+            return [candidate] if candidate else []
+        if ordering == "exhaustive":
+            out = [self._combine_and_ordered(a, b),
+                   self._combine_and_ordered(b, a)]
+            return [c for c in out if c]
+        # The paper's rule: a parallel-stack-bearing operand sinks to the
+        # bottom (its discharge points may be protected by ground); with
+        # both or neither, the operand with more potential discharge points
+        # sinks.
+        if a.par_b != b.par_b:
+            top, bottom = (b, a) if a.par_b else (a, b)
+        elif a.p_dis >= b.p_dis:
+            top, bottom = b, a
+        else:
+            top, bottom = a, b
+        candidate = self._combine_and_ordered(top, bottom)
+        return [candidate] if candidate else []
+
+    # ------------------------------------------------------------------
+    # the DP over one node
+    # ------------------------------------------------------------------
+    def _fanin_view(self, uid: int) -> List[MapTuple]:
+        node = self.network.node(uid)
+        if node.type is NodeType.PI:
+            return [self._pi_tuple(uid)]
+        if node.type in (NodeType.AND, NodeType.OR):
+            record = self._gates.get(uid)
+            if self._forced[uid]:
+                if record is None:  # pragma: no cover - topological order
+                    raise MappingError(f"gate for node {uid} not yet formed")
+                return [self._gate_input_tuple(record, sunk=True)]
+            view = list(self._tables[uid].all_tuples())
+            if record is not None:
+                view.append(self._gate_input_tuple(
+                    record, sunk=False,
+                    fanout=self.network.fanout_count(uid)))
+            return view
+        raise MappingError(
+            f"node {node.label} of type {node.type.value} cannot feed a "
+            "domino pulldown (constants must be swept before mapping)")
+
+    def _process_node(self, uid: int) -> None:
+        node = self.network.node(uid)
+        table = TupleTable(self.model.tuple_key, pareto=self.config.pareto)
+        views = [self._fanin_view(f) for f in node.fanins]
+        combine_or = node.type is NodeType.OR
+        for ta in views[0]:
+            for tb in views[1]:
+                if combine_or:
+                    candidates = self._combine_or(ta, tb)
+                    candidates = [candidates] if candidates else []
+                else:
+                    candidates = self._combine_and(ta, tb)
+                for candidate in candidates:
+                    self._tuples_created += 1
+                    table.insert(candidate)
+        if not len(table):
+            raise MappingError(
+                f"no feasible {{W,H}} tuple for node {node.label}: limits "
+                f"w_max={self.config.w_max}, h_max={self.config.h_max} are "
+                "too tight")
+        self._tables[uid] = table
+        self._gates[uid] = self._form_gate(uid, table)
+
+    def _form_gate(self, uid: int, table: TupleTable) -> GateRecord:
+        """Build the ``{1,1}`` formed-gate record from the best tuple."""
+        best = None
+        best_key = None
+        policy = self.config.ground_policy
+        for t in table.all_tuples():
+            overhead = self.model.gate_overhead_cost(t.has_pi)
+            wcost = t.wcost + overhead
+            disch = t.disch
+            trans = t.trans + (5 if t.has_pi else 4)
+            ungrounded = (policy == "pessimistic"
+                          or (policy == "footless" and t.has_pi))
+            if ungrounded and self.config.pbe_aware:
+                wcost += t.p_dis * self.model.discharge_cost()
+                disch += t.p_dis
+                trans += t.p_dis
+            levels = t.levels + 1
+            key = (self.model.gate_key(wcost, levels), t.p_dis)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (t, wcost, trans, disch, levels)
+        t, wcost, trans, disch, levels = best
+        return GateRecord(node_id=uid, tuple=t, wcost=wcost, trans=trans,
+                          disch=disch, levels=levels, footed=t.has_pi)
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def run(self) -> MappingResult:
+        """Execute the DP and materialize the mapped circuit."""
+        network = self.network
+        po_drivers = {network.node(p).fanins[0] for p in network.pos}
+        for uid in network.node_ids:
+            node = network.node(uid)
+            if node.type in (NodeType.AND, NodeType.OR):
+                if self.config.duplication:
+                    self._forced[uid] = False
+                else:
+                    self._forced[uid] = (network.fanout_count(uid) > 1
+                                         or uid in po_drivers)
+        for uid in network.topological_order():
+            if network.node(uid).type in (NodeType.AND, NodeType.OR):
+                self._process_node(uid)
+        return self._materialize()
+
+    def _materialize(self) -> MappingResult:
+        network = self.network
+        circuit = DominoCircuit(network.name)
+        for uid in network.pis:
+            circuit.add_input(network.node(uid).label)
+
+        used: Dict[int, GateRecord] = {}
+
+        def require(uid: int) -> GateRecord:
+            record = self._gates[uid]
+            if uid in used:
+                return record
+            used[uid] = record
+            for ref in _structure_gate_refs(record.tuple.structure):
+                require(ref)
+            return record
+
+        for po in network.pos:
+            driver = network.node(network.node(po).fanins[0])
+            if driver.type is NodeType.PI:
+                circuit.connect_output(network.node(po).label, driver.label)
+            elif driver.is_const:
+                circuit.set_const_output(network.node(po).label,
+                                         driver.type is NodeType.CONST1)
+            elif driver.type in (NodeType.AND, NodeType.OR):
+                record = require(driver.uid)
+                circuit.connect_output(network.node(po).label,
+                                       f"g{record.node_id}")
+            else:
+                raise MappingError(
+                    f"PO {network.node(po).label} driven by unsupported "
+                    f"node type {driver.type.value}")
+
+        policy = self.config.ground_policy
+        for uid, record in used.items():
+            structure = record.tuple.structure
+            if self.config.rearrange_gates:
+                structure = rearrange(structure)
+            grounded = (policy == "optimistic"
+                        or (policy == "footless"
+                            and not record.tuple.has_pi))
+            gate = DominoGate.from_structure(
+                name=f"g{uid}",
+                structure=structure,
+                grounded=grounded,
+                level=record.levels,
+                node_id=uid,
+            )
+            circuit.add_gate(gate)
+        circuit.recompute_levels()
+
+        result = MappingResult(
+            circuit=circuit,
+            config=self.config,
+            cost_model=self.model,
+            gate_records=dict(used),
+            tuples_created=self._tuples_created,
+        )
+        return result
+
+
+def _structure_gate_refs(structure: Pulldown) -> List[int]:
+    return [leaf.source_gate for leaf in structure.leaves()
+            if leaf.source_gate is not None]
+
+
+def map_network(network: LogicNetwork, cost_model: Optional[CostModel] = None,
+                config: Optional[MapperConfig] = None) -> MappingResult:
+    """Convenience wrapper: run one mapping over a mappable network."""
+    model = cost_model if cost_model is not None else CostModel()
+    return MappingEngine(network, model, config).run()

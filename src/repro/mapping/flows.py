@@ -1,0 +1,120 @@
+"""End-to-end mapping flows: the three algorithms compared in the paper.
+
+Each flow takes an arbitrary combinational :class:`LogicNetwork` (any gate
+vocabulary the readers produce), runs the synthesis front end
+(decompose -> sweep -> unate conversion -> sweep), and then maps with one
+of:
+
+* :func:`domino_map`      — the bulk-CMOS baseline (discharge transistors
+  added by post-processing only, invisible to the optimizer);
+* :func:`rs_map`          — baseline + series-stack rearrangement
+  post-processing (Table I's ``RS_Map``);
+* :func:`soi_domino_map`  — the paper's PBE-aware algorithm (Table II-IV's
+  ``SOI_Domino_Map``).
+
+All three share the one synthesis front end, so for a given circuit they
+map the *same* unate network — exactly the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..domino.circuit import CircuitCost
+from ..network import LogicNetwork
+from ..synth import UnateReport, decompose, sweep, unate_with_sweep
+from .cost import CostModel
+from .engine import MapperConfig, MappingEngine, MappingResult
+
+#: The paper's pulldown limits (section VI).
+PAPER_W_MAX = 5
+PAPER_H_MAX = 8
+
+
+@dataclass
+class FlowResult:
+    """A mapped circuit together with front-end reports."""
+
+    mapping: MappingResult
+    unate_report: Optional[UnateReport]
+
+    @property
+    def circuit(self):
+        return self.mapping.circuit
+
+    @property
+    def cost(self) -> CircuitCost:
+        return self.mapping.cost
+
+
+def prepare_network(network: LogicNetwork):
+    """Run the synthesis front end; returns ``(unate_network, report)``.
+
+    The result satisfies ``unate_network.is_mappable()`` and is the common
+    input handed to all three mappers.
+    """
+    if network.is_mappable():
+        return network, None
+    cleaned = sweep(decompose(network))
+    unate, report = unate_with_sweep(cleaned)
+    return unate, report
+
+
+def _run(network: LogicNetwork, cost_model: Optional[CostModel],
+         config: MapperConfig) -> FlowResult:
+    unate, report = prepare_network(network)
+    model = cost_model if cost_model is not None else CostModel()
+    mapping = MappingEngine(unate, model, config).run()
+    return FlowResult(mapping=mapping, unate_report=report)
+
+
+def domino_map(network: LogicNetwork,
+               cost_model: Optional[CostModel] = None,
+               w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX) -> FlowResult:
+    """The bulk-CMOS baseline ``Domino_Map``.
+
+    The DP ignores discharge points entirely; the materialized gates then
+    receive the p-discharge transistors that the structural PBE analysis
+    demands (the paper's post-processing step).
+    """
+    config = MapperConfig(w_max=w_max, h_max=h_max, pbe_aware=False,
+                          ordering="adverse")
+    return _run(network, cost_model, config)
+
+
+def rs_map(network: LogicNetwork,
+           cost_model: Optional[CostModel] = None,
+           w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX) -> FlowResult:
+    """``RS_Map``: the baseline plus series-stack rearrangement.
+
+    Identical DP to :func:`domino_map`, but every materialized gate is
+    post-processed by :func:`repro.domino.rearrange.rearrange` before the
+    discharge transistors are inserted, sinking parallel stacks toward
+    ground (Table I).
+    """
+    config = MapperConfig(w_max=w_max, h_max=h_max, pbe_aware=False,
+                          ordering="adverse", rearrange_gates=True)
+    return _run(network, cost_model, config)
+
+
+def soi_domino_map(network: LogicNetwork,
+                   cost_model: Optional[CostModel] = None,
+                   w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX,
+                   ordering: str = "paper",
+                   ground_policy: str = "optimistic",
+                   pareto: bool = False,
+                   duplication: bool = True) -> FlowResult:
+    """The paper's ``SOI_Domino_Map`` (listing 2).
+
+    ``ordering``, ``ground_policy``, ``pareto`` and ``duplication`` expose
+    the ablation switches documented in DESIGN.md; the defaults reproduce
+    the paper.  ``duplication=False`` selects the duplication-free tree
+    regime where the per-tree DP is exact — Table III's weighted-objective
+    comparison uses it, because only for exact optima does raising the
+    clock weight provably never increase the clock load.
+    """
+    config = MapperConfig(w_max=w_max, h_max=h_max, pbe_aware=True,
+                          ordering=ordering, ground_policy=ground_policy,
+                          pareto=pareto, duplication=duplication)
+    return _run(network, cost_model, config)

@@ -1,0 +1,166 @@
+"""Mapping tuples: the dynamic-programming sub-solutions.
+
+The paper associates 6-tuples with intermediate solutions; here a
+:class:`MapTuple` carries the pair ``{W, H}``, the accumulated cost
+components, the PBE bookkeeping (``p_dis``, ``par_b``), and the partial
+pulldown structure itself so the final circuit can be materialized.
+
+``TupleTable`` stores, per ``(W, H)`` slot, either the single best tuple
+(paper mode) or a small Pareto front over ``(cost, p_dis)`` (an extension
+evaluated as an ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..domino.structure import Pulldown
+
+
+class MapTuple:
+    """One dynamic-programming sub-solution.
+
+    Attributes
+    ----------
+    width, height:
+        The ``{W, H}`` pair of the partial pulldown network.
+    wcost:
+        Model-weighted scalar cost accumulated so far (transistors with
+        clock-connected devices weighted by ``k``; committed discharge
+        transistors included for PBE-aware mapping).
+    trans:
+        Raw transistor count, including committed discharge transistors.
+    disch:
+        Committed p-discharge transistors inside this partial structure
+        (including those of optional gates formed beneath it).
+    levels:
+        Maximum number of domino gate levels beneath any leaf (0 when all
+        leaves are primary inputs).
+    p_dis:
+        Potential discharge points (must be discharged if the structure's
+        bottom never reaches ground).
+    p_tail:
+        The subset of ``p_dis`` inside the bottom-most parallel stack
+        (zero unless ``par_b``).  A series combination commits exactly
+        these (plus the new junction) when the structure lands on top;
+        spine junctions (``p_dis - p_tail``) keep their classification,
+        matching the flattened structural analysis.
+    par_b:
+        True when the structure has a parallel stack at its bottom.
+    has_pi:
+        True when any pulldown leaf is a primary input (the formed gate
+        would need an n-clock foot).
+    structure:
+        The partial pulldown network.
+    """
+
+    __slots__ = ("width", "height", "wcost", "trans", "disch", "levels",
+                 "p_dis", "p_tail", "par_b", "has_pi", "structure")
+
+    def __init__(self, width: int, height: int, wcost: float, trans: int,
+                 disch: int, levels: int, p_dis: int, par_b: bool,
+                 has_pi: bool, structure: Pulldown, p_tail: int = 0):
+        self.width = width
+        self.height = height
+        self.wcost = wcost
+        self.trans = trans
+        self.disch = disch
+        self.levels = levels
+        self.p_dis = p_dis
+        self.p_tail = p_tail
+        self.par_b = par_b
+        self.has_pi = has_pi
+        self.structure = structure
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.width, self.height)
+
+    def __repr__(self) -> str:
+        return (f"MapTuple(W={self.width}, H={self.height}, "
+                f"wcost={self.wcost}, trans={self.trans}, "
+                f"disch={self.disch}, levels={self.levels}, "
+                f"p_dis={self.p_dis}, par_b={self.par_b})")
+
+
+class TupleTable:
+    """Per-node table of sub-solutions, keyed by ``(W, H)``.
+
+    Parameters
+    ----------
+    key_fn:
+        Maps a :class:`MapTuple` to a comparable selection key (provided
+        by the cost model).  Lower is better.
+    pareto:
+        When true, each slot keeps every tuple that is Pareto-optimal in
+        ``(key, p_dis)`` (capped at ``max_front``); otherwise each slot
+        keeps the single best tuple by ``(key, p_dis)``.
+    """
+
+    def __init__(self, key_fn, pareto: bool = False, max_front: int = 4):
+        self._key_fn = key_fn
+        self._pareto = pareto
+        self._max_front = max_front
+        self._slots: Dict[Tuple[int, int], List[MapTuple]] = {}
+
+    def insert(self, candidate: MapTuple) -> bool:
+        """Offer ``candidate``; returns True if it was kept."""
+        slot = self._slots.setdefault(candidate.shape, [])
+        key = self._key_fn(candidate)
+        if not self._pareto:
+            if not slot:
+                slot.append(candidate)
+                return True
+            incumbent = slot[0]
+            if (key, candidate.p_dis) < (self._key_fn(incumbent),
+                                         incumbent.p_dis):
+                slot[0] = candidate
+                return True
+            return False
+        # Pareto mode: drop the candidate if dominated, evict what it
+        # dominates.  Dominance must cover every field that can influence
+        # a future combination: the cost key, the potential points (both
+        # total and the trailing-stack subset that series stacking
+        # commits), and par_b itself — a series-ending tuple (par_b False)
+        # is never worse than a parallel-ending one, since stacking below
+        # a parallel-ending top commits its tail plus the junction.
+        def dominates(d: MapTuple, c: MapTuple) -> bool:
+            return (self._key_fn(d) <= self._key_fn(c)
+                    and d.p_dis <= c.p_dis
+                    and d.p_tail <= c.p_tail
+                    and (not d.par_b or c.par_b))
+
+        for kept in slot:
+            if dominates(kept, candidate):
+                return False
+        slot[:] = [kept for kept in slot if not dominates(candidate, kept)]
+        slot.append(candidate)
+        if len(slot) > self._max_front:
+            slot.sort(key=lambda t: (self._key_fn(t), t.p_dis))
+            del slot[self._max_front:]
+        return True
+
+    def all_tuples(self) -> Iterator[MapTuple]:
+        for slot in self._slots.values():
+            yield from slot
+
+    def best(self) -> Optional[MapTuple]:
+        """Overall best tuple across all slots (None if the table is empty)."""
+        best_tuple = None
+        best_key = None
+        for t in self.all_tuples():
+            key = (self._key_fn(t), t.p_dis)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_tuple = t
+        return best_tuple
+
+    def __len__(self) -> int:
+        return sum(len(slot) for slot in self._slots.values())
+
+    def shapes(self) -> List[Tuple[int, int]]:
+        return sorted(self._slots)
+
+    def get(self, width: int, height: int) -> List[MapTuple]:
+        """Tuples stored for shape ``(width, height)`` (possibly empty)."""
+        return list(self._slots.get((width, height), ()))

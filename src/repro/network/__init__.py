@@ -1,0 +1,19 @@
+"""Technology-independent logic networks (the mapper's input substrate)."""
+
+from .nodes import LogicNode, NodeType, MAPPABLE_TYPES
+from .network import LogicNetwork
+from .build import network_from_expression, network_from_expressions
+from .stats import NetworkStats, network_stats, fanout_histogram, level_map
+
+__all__ = [
+    "LogicNode",
+    "NodeType",
+    "MAPPABLE_TYPES",
+    "LogicNetwork",
+    "network_from_expression",
+    "network_from_expressions",
+    "NetworkStats",
+    "network_stats",
+    "fanout_histogram",
+    "level_map",
+]

@@ -1,0 +1,144 @@
+"""Convenience constructors: boolean-expression parsing into networks.
+
+The expression grammar (used heavily by tests and examples)::
+
+    expr   := term  ('+' term)*          # OR
+    term   := factor ('*' factor)*       # AND (also implicit by adjacency
+                                         #      of parenthesized groups)
+    factor := '!' factor | '(' expr ')' | identifier | '0' | '1'
+
+Identifiers match ``[A-Za-z_][A-Za-z0-9_]*``.  Each distinct identifier
+becomes a primary input (shared across outputs of the same builder).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import ParseError
+from .network import LogicNetwork
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*|[()+*!01])")
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise ParseError(f"bad character {text[pos]!r} in expression")
+            break
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser building nodes into a network."""
+
+    def __init__(self, network: LogicNetwork, inputs: Dict[str, int]):
+        self.network = network
+        self.inputs = inputs
+        self.tokens: List[str] = []
+        self.pos = 0
+
+    def parse(self, text: str) -> int:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        uid = self._expr()
+        if self.pos != len(self.tokens):
+            raise ParseError(f"trailing tokens after expression: "
+                             f"{self.tokens[self.pos:]}")
+        return uid
+
+    def _peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def _take(self) -> str:
+        tok = self._peek()
+        self.pos += 1
+        return tok
+
+    def _expr(self) -> int:
+        uid = self._term()
+        while self._peek() == "+":
+            self._take()
+            rhs = self._term()
+            uid = self.network.add_or(uid, rhs)
+        return uid
+
+    def _term(self) -> int:
+        uid = self._factor()
+        while True:
+            nxt = self._peek()
+            if nxt == "*":
+                self._take()
+                rhs = self._factor()
+            elif nxt == "(" or re.match(r"[A-Za-z_!01]", nxt or ""):
+                # implicit AND by adjacency, e.g. "A(B+C)"
+                rhs = self._factor()
+            else:
+                return uid
+            uid = self.network.add_and(uid, rhs)
+
+    def _factor(self) -> int:
+        tok = self._take()
+        if tok == "!":
+            inner = self._factor()
+            return self.network.add_inv(inner)
+        if tok == "(":
+            uid = self._expr()
+            if self._take() != ")":
+                raise ParseError("missing closing parenthesis")
+            return uid
+        if tok == "0":
+            return self.network.add_const(False)
+        if tok == "1":
+            return self.network.add_const(True)
+        if not tok:
+            raise ParseError("unexpected end of expression")
+        if tok in self.inputs:
+            return self.inputs[tok]
+        uid = self.network.add_pi(tok)
+        self.inputs[tok] = uid
+        return uid
+
+
+def network_from_expressions(exprs, name: str = "expr") -> LogicNetwork:
+    """Build a network from output expressions.
+
+    Parameters
+    ----------
+    exprs:
+        Either a single expression string, or a mapping / sequence of
+        ``(output_name, expression)`` pairs.  ``!`` is NOT, ``*`` (or
+        adjacency) is AND, ``+`` is OR.
+
+    Returns
+    -------
+    LogicNetwork
+        Network with one PI per distinct identifier and one PO per
+        expression.  All gates are 2-input AND/OR plus inverters.
+    """
+    if isinstance(exprs, str):
+        pairs: List[Tuple[str, str]] = [("out", exprs)]
+    elif isinstance(exprs, dict):
+        pairs = list(exprs.items())
+    else:
+        pairs = list(exprs)
+
+    network = LogicNetwork(name)
+    inputs: Dict[str, int] = {}
+    parser = _ExprParser(network, inputs)
+    for out_name, text in pairs:
+        uid = parser.parse(text)
+        network.add_po(uid, out_name)
+    return network
+
+
+def network_from_expression(expr: str, name: str = "expr") -> LogicNetwork:
+    """Single-output convenience wrapper for :func:`network_from_expressions`."""
+    return network_from_expressions(expr, name=name)

@@ -1,0 +1,87 @@
+"""Summary statistics of logic networks (sizes, depth, fanout profile)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .network import LogicNetwork
+from .nodes import NodeType
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Aggregate statistics of a :class:`LogicNetwork`."""
+
+    name: str
+    num_pis: int
+    num_pos: int
+    num_gates: int
+    num_and: int
+    num_or: int
+    num_inv: int
+    depth: int
+    max_fanout: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "pis": self.num_pis,
+            "pos": self.num_pos,
+            "gates": self.num_gates,
+            "and": self.num_and,
+            "or": self.num_or,
+            "inv": self.num_inv,
+            "depth": self.depth,
+            "max_fanout": self.max_fanout,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_pis} PI, {self.num_pos} PO, "
+            f"{self.num_gates} gates ({self.num_and} AND / {self.num_or} OR / "
+            f"{self.num_inv} INV), depth {self.depth}, "
+            f"max fanout {self.max_fanout}"
+        )
+
+
+def network_stats(network: LogicNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` for ``network``."""
+    gates = network.gates()
+    max_fanout = max((network.fanout_count(u) for u in network.node_ids),
+                     default=0)
+    return NetworkStats(
+        name=network.name,
+        num_pis=len(network.pis),
+        num_pos=len(network.pos),
+        num_gates=len(gates),
+        num_and=network.count(NodeType.AND),
+        num_or=network.count(NodeType.OR),
+        num_inv=network.count(NodeType.INV),
+        depth=network.depth(),
+        max_fanout=max_fanout,
+    )
+
+
+def fanout_histogram(network: LogicNetwork) -> Dict[int, int]:
+    """Map fanout count -> number of non-PO nodes with that fanout."""
+    hist: Dict[int, int] = {}
+    for u in network.node_ids:
+        if network.node(u).is_po:
+            continue
+        k = network.fanout_count(u)
+        hist[k] = hist.get(k, 0) + 1
+    return hist
+
+
+def level_map(network: LogicNetwork) -> Dict[int, int]:
+    """Gate level of every node (PIs at level 0, each gate adds one)."""
+    levels: Dict[int, int] = {}
+    for u in network.topological_order():
+        n = network.node(u)
+        if not n.fanins:
+            levels[u] = 0
+        else:
+            base = max(levels[f] for f in n.fanins)
+            levels[u] = base + (1 if n.type.is_gate else 0)
+    return levels

@@ -1,0 +1,34 @@
+"""Floating-body PBE modelling and cycle-accurate domino simulation."""
+
+from .model import BodyState, PBEModelConfig
+from .netlist import FOOT, GND, TOP, FlatGate, FlatTransistor, flatten_gate
+from .hysteresis import HysteresisReport, measure_hysteresis
+from .prune import PruneReport, prune_discharges, prune_gate
+from .simulator import (
+    CycleResult,
+    PBEEvent,
+    PBESimulator,
+    SimulationReport,
+    random_stress,
+)
+
+__all__ = [
+    "BodyState",
+    "PBEModelConfig",
+    "FOOT",
+    "GND",
+    "TOP",
+    "FlatGate",
+    "FlatTransistor",
+    "flatten_gate",
+    "HysteresisReport",
+    "measure_hysteresis",
+    "PruneReport",
+    "prune_gate",
+    "prune_discharges",
+    "CycleResult",
+    "PBEEvent",
+    "PBESimulator",
+    "SimulationReport",
+    "random_stress",
+]

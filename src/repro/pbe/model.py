@@ -1,0 +1,103 @@
+"""Discrete floating-body device model for partially depleted SOI.
+
+This is the behavioural substitute for the paper's silicon/SPICE evidence
+(see DESIGN.md, "Substitutions").  It captures the mechanism of the
+paper's section III-B at cycle granularity:
+
+* an SOI nmos body is electrically floating;
+* when the device is **off** with both source and drain **high** for an
+  extended period, leakage and impact ionization charge the body high;
+* a switching event on the device's gate couples the body low, and a
+  grounded source drains it;
+* if the source of a charged-body device is yanked low, the lateral
+  parasitic bipolar transistor turns on and dumps charge from the drain
+  side — if the drain side is the (supposedly undisturbed) dynamic node
+  of a domino gate, the gate evaluates incorrectly.
+
+The model is deliberately conservative and parameter-light: bodies charge
+after ``charge_phases`` consecutive phases of the charging condition and
+drain after ``decay_phases`` phases with the source low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PBEModelConfig:
+    """Tunables of the floating-body model.
+
+    Attributes
+    ----------
+    charge_phases:
+        Consecutive simulator phases (two per clock cycle) the charging
+        condition must hold before the body is considered high.
+    decay_phases:
+        Consecutive phases with the source at ground needed to drain a
+        charged body (while the device stays off).
+    retain_phases:
+        How many phases a *floating* (undriven) internal node retains a
+        high value before junction leakage pulls it low.  This is what
+        makes a grounded stack safe in the paper's model: charge parked on
+        a branch-internal junction decays once nothing drives it, so the
+        neighbouring bodies never see the sustained source/drain-high
+        condition.  A node held high through a *conducting* path (the
+        PBE-critical case) never decays.
+    inject_errors:
+        When True, a parasitic bipolar misfire actually discharges the
+        dynamic node, so the wrong value propagates into the fanout logic
+        (the paper's "erroneous circuit behavior").  When False the
+        simulator only records the event.
+    """
+
+    charge_phases: int = 3
+    decay_phases: int = 2
+    retain_phases: int = 2
+    inject_errors: bool = True
+
+    def __post_init__(self):
+        if self.charge_phases < 1:
+            raise ValueError("charge_phases must be >= 1")
+        if self.decay_phases < 1:
+            raise ValueError("decay_phases must be >= 1")
+        if self.retain_phases < 1:
+            raise ValueError("retain_phases must be >= 1")
+
+
+class BodyState:
+    """Floating-body state of one pulldown transistor."""
+
+    __slots__ = ("charge", "decay", "high")
+
+    def __init__(self):
+        self.charge = 0
+        self.decay = 0
+        self.high = False
+
+    def update(self, device_on: bool, upper_high: bool, lower_high: bool,
+               config: PBEModelConfig) -> None:
+        """Advance the body by one phase given terminal/gate conditions."""
+        if device_on:
+            # Gate switching/conduction couples and pins the body low.
+            self.charge = 0
+            self.decay = 0
+            self.high = False
+            return
+        if upper_high and lower_high:
+            self.charge += 1
+            self.decay = 0
+            if self.charge >= config.charge_phases:
+                self.high = True
+            return
+        # Either terminal low: the corresponding body junction leaks the
+        # accumulated charge away over a few phases.  (Without this leak,
+        # alternating input vectors could pump the body up two phases at
+        # a time and defeat any charge threshold.)
+        self.decay += 1
+        if self.decay >= config.decay_phases:
+            self.charge = 0
+            self.high = False
+
+    def __repr__(self) -> str:
+        return f"BodyState(high={self.high}, charge={self.charge})"

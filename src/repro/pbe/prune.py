@@ -1,0 +1,270 @@
+"""Input-aware discharge-transistor pruning (the paper's section VII).
+
+The mapping algorithms assume the worst case: every discharge point that
+*could* arm the parasitic bipolar effect gets a p-discharge transistor.
+The paper's future-work observation is that "breakdown will only occur
+for a particular sequence of input logic values.  We have not taken this
+into account in our algorithm, and incorporating this information could
+lead to better solutions."
+
+This module implements that refinement as a sound post-processing pass.
+A device ``T`` of a gate is *armable* if some input assignment charges
+its floating body — i.e. holds both of its terminals high while ``T`` is
+off — in either clock phase:
+
+* **evaluate**: the n-clock foot conducts and the p-discharge transistors
+  are off; a terminal is high when it connects to the (still-high)
+  dynamic node through conducting transistors and the dynamic node has no
+  path to ground (otherwise the gate simply evaluates low);
+* **precharge**: the foot is off, every kept p-discharge transistor pulls
+  its junction to ground, domino-driven inputs are low, and primary
+  inputs are free — the phase that charges stack bottoms above the foot.
+
+A discharge transistor may be removed only if the *whole gate* stays
+unarmable without it (discharge transistors protect nodes transitively
+through off branches, so removals interact); the pass therefore tries
+removals greedily, re-checking global gate safety after each.  The check
+enumerates all assignments of the distinct signals feeding the gate
+exhaustively (bit-parallel over packed words) with complementary unate
+phases (``x`` / ``x_bar``) tied to one variable — which is what kills the
+false alarms in selector logic, where a branch can never conduct while
+its complementary-select neighbour blocks.  Signals are otherwise treated
+as independent, which over-approximates satisfiability, so pruning is
+conservative (sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..conventions import NEG_SUFFIX
+from ..domino.circuit import DominoCircuit
+from ..domino.gate import DominoGate
+from .netlist import FOOT, GND, TOP, FlatGate, flatten_gate
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one pruning pass."""
+
+    points_before: int = 0
+    points_after: int = 0
+    gates_skipped: int = 0  #: gates with too many signals for exact analysis
+    per_gate: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def removed(self) -> int:
+        return self.points_before - self.points_after
+
+    def __str__(self) -> str:
+        return (f"discharge transistors {self.points_before} -> "
+                f"{self.points_after} ({self.removed} pruned, "
+                f"{self.gates_skipped} gates skipped)")
+
+
+def _signal_variables(flat: FlatGate, neg_suffix: str):
+    """Map each leaf signal to (variable index, negated?)."""
+    bases: List[str] = []
+    index: Dict[str, int] = {}
+    mapping: Dict[str, Tuple[int, bool]] = {}
+    for t in flat.transistors:
+        signal = t.signal
+        if signal in mapping:
+            continue
+        if t.is_primary and signal.endswith(neg_suffix):
+            base = signal[: -len(neg_suffix)]
+            negated = True
+        else:
+            base = signal
+            negated = False
+        if base not in index:
+            index[base] = len(bases)
+            bases.append(base)
+        mapping[signal] = (index[base], negated)
+    return bases, mapping
+
+
+def _reach_from(flat: FlatGate, source: str,
+                edges: Sequence[Tuple[str, str, int]],
+                mask: int) -> Dict[str, int]:
+    """Bit-parallel connectivity: per node, the word of assignments under
+    which the node connects to ``source`` through conducting edges."""
+    nodes = [TOP, GND] + flat.internal_nodes
+    if flat.gate.footed:
+        nodes.append(FOOT)
+    reach = {node: 0 for node in nodes}
+    reach[source] = mask
+    changed = True
+    while changed:
+        changed = False
+        for a, b, word in edges:
+            through = reach[a] & word
+            if through & ~reach[b]:
+                reach[b] |= through
+                changed = True
+            through = reach[b] & word
+            if through & ~reach[a]:
+                reach[a] |= through
+                changed = True
+    return reach
+
+
+class _GateAnalyser:
+    """Exhaustive two-phase armability analysis of one gate."""
+
+    def __init__(self, gate: DominoGate, neg_suffix: str):
+        self.gate = gate
+        self.flat = flatten_gate(gate)
+        self.bases, self.mapping = _signal_variables(self.flat, neg_suffix)
+        k = len(self.bases)
+        self.total = 1 << k
+        self.mask = (1 << self.total) - 1
+
+        var_words: List[int] = []
+        for v in range(k):
+            word = 0
+            block = 1 << v
+            for start in range(0, self.total, block * 2):
+                word |= ((1 << block) - 1) << (start + block)
+            var_words.append(word)
+
+        self.on_eval: List[int] = []
+        self.on_pre: List[int] = []
+        for t in self.flat.transistors:
+            var, negated = self.mapping[t.signal]
+            word = var_words[var] ^ (self.mask if negated else 0)
+            self.on_eval.append(word)
+            # During precharge every domino output is low: only
+            # primary-input-driven transistors can conduct.
+            self.on_pre.append(word if t.is_primary else 0)
+
+    def _edges(self, on_words: List[int], foot_on: bool,
+               discharge_nodes: Sequence[str]) -> List[Tuple[str, str, int]]:
+        edges = [(t.upper, t.lower, on_words[i])
+                 for i, t in enumerate(self.flat.transistors)]
+        if self.flat.gate.footed and foot_on:
+            edges.append((FOOT, GND, self.mask))
+        for node in discharge_nodes:
+            edges.append((node, GND, self.mask))
+        return edges
+
+    def safe(self, kept_points: Sequence) -> bool:
+        """True when no device can misfire, given that exactly the
+        junctions of ``kept_points`` carry p-discharge transistors.
+
+        A device ``T`` can misfire iff
+
+        * its body is *chargeable*: some assignment holds both terminals
+          high with ``T`` off, in the evaluate phase (dynamic node still
+          high) or in the precharge phase, **and**
+        * a *trigger* exists: its source can still be high at the end of a
+          precharge phase — either driven high through conducting primary
+          inputs, or floating (undriven and undischarged) and retaining a
+          high evaluate-phase value — so that the evaluate phase can yank
+          it low.  A p-discharge transistor at the source removes exactly
+          this: the source is already low before evaluation starts.
+        """
+        flat = self.flat
+        mask = self.mask
+
+        # Evaluate phase: foot on, discharge transistors off.
+        reach_e = _reach_from(flat, TOP,
+                              self._edges(self.on_eval, True, ()), mask)
+        dyn_high = mask & ~reach_e[GND]
+
+        # Precharge phase: foot off, kept discharge transistors conduct.
+        discharge_nodes = [flat.junction_of[p] for p in kept_points]
+        edges_p = self._edges(self.on_pre, False, discharge_nodes)
+        reach_pt = _reach_from(flat, TOP, edges_p, mask)
+        reach_pg = _reach_from(flat, GND, edges_p, mask)
+
+        def high_p(node: str) -> int:
+            return reach_pt[node] & ~reach_pg[node]
+
+        def float_p(node: str) -> int:
+            return mask & ~reach_pt[node] & ~reach_pg[node]
+
+        for i, t in enumerate(flat.transistors):
+            if t.lower == GND:
+                continue  # source hard-wired to ground: body cannot charge
+            off_e = self.on_eval[i] ^ mask
+            off_p = self.on_pre[i] ^ mask
+            chargeable = (
+                (off_e & reach_e[t.lower] & reach_e[t.upper] & dyn_high)
+                or (off_p & high_p(t.lower) & high_p(t.upper)))
+            if not chargeable:
+                continue
+            # Trigger: the source survives a precharge phase high.
+            lower_high_e = reach_e[t.lower] & dyn_high
+            triggerable = high_p(t.lower) or (float_p(t.lower)
+                                              and lower_high_e)
+            if triggerable:
+                return False
+        return True
+
+
+def prune_gate(gate: DominoGate, max_signals: int = 16,
+               neg_suffix: str = NEG_SUFFIX):
+    """Greedily drop discharge points that the gate provably never needs.
+
+    Returns ``(kept_points, skipped)``.  ``skipped`` is True when the gate
+    has more than ``max_signals`` distinct signal variables and was left
+    untouched.  Points are only removed while the *whole gate* remains
+    unarmable, so removals that would expose another node (e.g. the stack
+    bottom above the n-clock foot, which has no discharge transistor of
+    its own) are refused.
+    """
+    if not gate.discharge_points:
+        return (), False
+    analyser = _GateAnalyser(gate, neg_suffix)
+    if len(analyser.bases) > max_signals:
+        return tuple(gate.discharge_points), True
+    kept = list(gate.discharge_points)
+    if not analyser.safe(kept):
+        # Even the full worst-case set leaves an armable device (the
+        # static model cannot discharge e.g. the foot node): keep all.
+        return tuple(kept), False
+    for point in list(kept):
+        trial = [p for p in kept if p != point]
+        if analyser.safe(trial):
+            kept = trial
+    return tuple(kept), False
+
+
+def prune_discharges(circuit: DominoCircuit, max_signals: int = 16,
+                     neg_suffix: str = NEG_SUFFIX
+                     ) -> Tuple[DominoCircuit, PruneReport]:
+    """Return a copy of ``circuit`` with unarmable discharge points removed.
+
+    The result intentionally fails :meth:`DominoGate.validate`'s
+    worst-case rule (committed points must carry discharge transistors):
+    pruning is precisely the demonstration that the worst case is not
+    always reachable.  The PBE simulator remains the dynamic judge — the
+    test suite stress-checks pruned circuits for misfires.
+    """
+    pruned = DominoCircuit(circuit.name + "_pruned")
+    for name in circuit.inputs:
+        pruned.add_input(name)
+    report = PruneReport()
+    for gate in circuit.gates:
+        report.points_before += gate.t_disch
+        keep, skipped = prune_gate(gate, max_signals=max_signals,
+                                   neg_suffix=neg_suffix)
+        if skipped:
+            report.gates_skipped += 1
+        report.points_after += len(keep)
+        report.per_gate[gate.name] = (gate.t_disch, len(keep))
+        pruned.add_gate(DominoGate(
+            name=gate.name,
+            structure=gate.structure,
+            footed=gate.footed,
+            discharge_points=tuple(keep),
+            level=gate.level,
+            node_id=gate.node_id,
+        ))
+    for po, signal in circuit.outputs.items():
+        pruned.connect_output(po, signal)
+    for po, value in circuit.const_outputs.items():
+        pruned.set_const_output(po, value)
+    return pruned, report

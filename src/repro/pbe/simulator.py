@@ -1,0 +1,367 @@
+"""Multi-cycle domino simulator with floating-body / PBE modelling.
+
+Each clock cycle has a **precharge** phase (dynamic nodes pulled high,
+p-discharge transistors pull their junctions low, domino gate outputs all
+low) and an **evaluate** phase (n-clock feet conduct, pulldown networks
+evaluate).  Internal pulldown nodes that are not driven in a phase *float*
+and retain their previous value — exactly the mechanism that lets SOI
+bodies charge up and arms the parasitic bipolar transistor.
+
+The simulator reproduces the paper's section III-B failure scenario on a
+bulk-mapped circuit and demonstrates that the same circuit mapped with
+``SOI_Domino_Map`` (or post-processed with discharge transistors) never
+misfires; the test-suite uses it as a dynamic checker of the static
+discharge analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..domino.circuit import DominoCircuit
+from ..errors import SimulationError
+from ..sim.domino_sim import evaluate_structure
+from ..conventions import NEG_SUFFIX
+from .model import BodyState, PBEModelConfig
+from .netlist import FOOT, GND, TOP, FlatGate, flatten_gate
+
+
+@dataclass(frozen=True)
+class PBEEvent:
+    """One parasitic-bipolar firing.
+
+    ``misfire`` is True when the firing discharges a dynamic node that
+    should have stayed high (a wrong logic value); otherwise the bipolar
+    current flowed somewhere harmless (e.g. the gate was evaluating low
+    anyway).
+    """
+
+    cycle: int
+    gate: str
+    signal: str     #: input driving the transistor whose body fired
+    misfire: bool
+
+    def __str__(self) -> str:
+        kind = "MISFIRE" if self.misfire else "harmless"
+        return (f"cycle {self.cycle}: parasitic bipolar fired in gate "
+                f"{self.gate} (device driven by {self.signal}) [{kind}]")
+
+
+@dataclass
+class CycleResult:
+    """Observed state after one full clock cycle."""
+
+    cycle: int
+    outputs: Dict[str, bool]
+    expected: Dict[str, bool]
+    events: List[PBEEvent] = field(default_factory=list)
+
+    @property
+    def misfires(self) -> List[PBEEvent]:
+        return [e for e in self.events if e.misfire]
+
+    @property
+    def correct(self) -> bool:
+        return self.outputs == self.expected
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate of a multi-cycle run."""
+
+    cycles: int = 0
+    events: int = 0
+    misfires: int = 0
+    error_cycles: int = 0
+    first_error_cycle: Optional[int] = None
+    history: List[CycleResult] = field(default_factory=list)
+
+    @property
+    def pbe_free(self) -> bool:
+        """True when no parasitic bipolar misfire corrupted any output."""
+        return self.misfires == 0 and self.error_cycles == 0
+
+    def __str__(self) -> str:
+        return (f"{self.cycles} cycles: {self.events} bipolar events, "
+                f"{self.misfires} misfires, {self.error_cycles} cycles with "
+                f"wrong outputs"
+                + (f" (first at cycle {self.first_error_cycle})"
+                   if self.first_error_cycle is not None else ""))
+
+
+class _GateInstance:
+    """Per-gate electrical state."""
+
+    __slots__ = ("flat", "values", "ages", "bodies", "output")
+
+    def __init__(self, flat: FlatGate):
+        self.flat = flat
+        self.values: Dict[str, bool] = {TOP: True, GND: False}
+        #: phases since each node was last driven (0 = driven this phase)
+        self.ages: Dict[str, int] = {TOP: 0, GND: 0}
+        for node in flat.internal_nodes:
+            self.values[node] = False
+            self.ages[node] = 0
+        if flat.gate.footed:
+            self.values[FOOT] = False
+            self.ages[FOOT] = 0
+        self.bodies = [BodyState() for _ in flat.transistors]
+        self.output = False
+
+
+class PBESimulator:
+    """Cycle-accurate domino simulator with floating-body modelling.
+
+    Parameters
+    ----------
+    circuit:
+        The mapped :class:`DominoCircuit` to simulate.
+    config:
+        Floating-body model parameters (see :class:`PBEModelConfig`).
+    derive_complements:
+        When True (default), missing complemented inputs (``X_bar``) are
+        driven with the complement of ``X`` automatically.
+    """
+
+    def __init__(self, circuit: DominoCircuit,
+                 config: Optional[PBEModelConfig] = None,
+                 derive_complements: bool = True,
+                 neg_suffix: str = NEG_SUFFIX):
+        self.circuit = circuit
+        self.config = config or PBEModelConfig()
+        self.derive_complements = derive_complements
+        self.neg_suffix = neg_suffix
+        self._order = circuit._topological_gates()
+        self._instances = {g.name: _GateInstance(flatten_gate(g))
+                           for g in self._order}
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return every node and body to its power-up state."""
+        for inst in self._instances.values():
+            inst.__init__(inst.flat)
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def _complete_inputs(self, pi_values: Dict[str, bool]) -> Dict[str, bool]:
+        values = dict(pi_values)
+        for name in self.circuit.inputs:
+            if name in values:
+                continue
+            base = name[: -len(self.neg_suffix)] if name.endswith(
+                self.neg_suffix) else None
+            if self.derive_complements and base is not None and base in values:
+                values[name] = not values[base]
+            else:
+                raise SimulationError(f"no value for circuit input {name!r}")
+        return values
+
+    def step(self, pi_values: Dict[str, bool]) -> CycleResult:
+        """Simulate one precharge + evaluate cycle.
+
+        ``pi_values`` maps primary-input names to this cycle's values;
+        complemented phases are derived automatically when enabled.
+        """
+        pis = self._complete_inputs(pi_values)
+        events: List[PBEEvent] = []
+
+        # ---------------- precharge phase -----------------------------
+        # All domino outputs are low; primary inputs already carry the new
+        # vector (they come from static logic that settles early).
+        signal_values = dict(pis)
+        for gate in self._order:
+            signal_values[gate.name] = False
+        for gate in self._order:
+            inst = self._instances[gate.name]
+            self._solve_phase(inst, signal_values, precharge=True)
+            self._update_bodies(inst, signal_values)
+            inst.output = False
+
+        # ---------------- evaluate phase ------------------------------
+        signal_values = dict(pis)
+        ideal_values = dict(pis)
+        outputs: Dict[str, bool] = {}
+        expected: Dict[str, bool] = {}
+        for gate in self._order:
+            inst = self._instances[gate.name]
+            prev_values = dict(inst.values)
+            self._solve_phase(inst, signal_values, precharge=False)
+            gate_events = self._detect_pbe(inst, signal_values, prev_values)
+            events.extend(gate_events)
+            if self.config.inject_errors and any(
+                    e.misfire for e in gate_events):
+                inst.values[TOP] = False
+            inst.output = not inst.values[TOP]
+            signal_values[gate.name] = inst.output
+            ideal_values[gate.name] = bool(
+                evaluate_structure(gate.structure,
+                                   {k: int(v) for k, v in ideal_values.items()},
+                                   1))
+            self._update_bodies(inst, signal_values)
+
+        for po, signal in self.circuit.outputs.items():
+            outputs[po] = bool(signal_values[signal])
+            expected[po] = bool(ideal_values[signal])
+        for po, const in self.circuit.const_outputs.items():
+            outputs[po] = const
+            expected[po] = const
+
+        result = CycleResult(cycle=self.cycle, outputs=outputs,
+                             expected=expected, events=events)
+        self.cycle += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_phase(self, inst: _GateInstance,
+                     signal_values: Dict[str, bool], precharge: bool) -> None:
+        """Steady-state node values for one phase (updates ``inst.values``)."""
+        flat = inst.flat
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            root = x
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(x, x) != x:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        nodes = [TOP, GND] + flat.internal_nodes
+        if flat.gate.footed:
+            nodes.append(FOOT)
+            if not precharge:
+                union(FOOT, GND)  # the n-clock foot conducts
+        if precharge:
+            for node in flat.discharge_nodes:
+                union(node, GND)  # p-discharge transistors conduct
+        for t in flat.transistors:
+            if signal_values.get(t.signal, False):
+                union(t.upper, t.lower)
+
+        groups: Dict[str, List[str]] = {}
+        for node in nodes:
+            groups.setdefault(find(node), []).append(node)
+
+        gnd_root = find(GND)
+        top_root = find(TOP)
+        new_values: Dict[str, bool] = {}
+        new_ages: Dict[str, int] = {}
+        retain = self.config.retain_phases
+        for root, members in groups.items():
+            if root == gnd_root:
+                value = False
+                age = 0
+            elif root == top_root:
+                value = True
+                age = 0
+            else:
+                # Floating subnetwork: a previously high node keeps the
+                # group high (the PBE-relevant direction), but parked
+                # charge leaks away after `retain_phases` undriven phases.
+                # Merging dilutes: the *oldest* high member's age governs
+                # the group, so reconnecting stale nodes cannot refresh
+                # each other's charge indefinitely.
+                high_ages = [inst.ages[m] for m in members
+                             if inst.values[m]]
+                age = (max(high_ages) + 1) if high_ages else 0
+                value = bool(high_ages) and age <= retain
+            for m in members:
+                new_values[m] = value
+                new_ages[m] = age
+        if precharge:
+            # The precharge pmos holds the dynamic node high even if a
+            # discharge transistor fights it through an on pulldown path.
+            new_values[TOP] = True
+            new_ages[TOP] = 0
+        new_values[GND] = False
+        new_ages[GND] = 0
+        inst.values = new_values
+        inst.ages = new_ages
+
+    def _detect_pbe(self, inst: _GateInstance,
+                    signal_values: Dict[str, bool],
+                    prev_values: Dict[str, bool]) -> List[PBEEvent]:
+        """Find parasitic bipolar firings in the just-solved evaluate phase."""
+        events: List[PBEEvent] = []
+        flat = inst.flat
+        for t, body in zip(flat.transistors, inst.bodies):
+            if signal_values.get(t.signal, False):
+                continue  # device on: no bipolar action
+            if not body.high:
+                continue
+            if not (prev_values[t.lower] and not inst.values[t.lower]):
+                continue  # source was not yanked low this phase
+            # The emitter dropped with a charged base: the bipolar fires.
+            # It corrupts the evaluation iff the collector side sits at the
+            # still-high dynamic node.
+            misfire = bool(inst.values[TOP]) and bool(inst.values[t.upper])
+            events.append(PBEEvent(cycle=self.cycle,
+                                   gate=flat.gate.name,
+                                   signal=t.signal,
+                                   misfire=misfire))
+        return events
+
+    def _update_bodies(self, inst: _GateInstance,
+                       signal_values: Dict[str, bool]) -> None:
+        for t, body in zip(inst.flat.transistors, inst.bodies):
+            body.update(
+                device_on=signal_values.get(t.signal, False),
+                upper_high=inst.values[t.upper],
+                lower_high=inst.values[t.lower],
+                config=self.config,
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, sequence: Iterable[Dict[str, bool]],
+            keep_history: bool = False) -> SimulationReport:
+        """Simulate a sequence of input vectors; aggregate the results."""
+        report = SimulationReport()
+        for pi_values in sequence:
+            result = self.step(pi_values)
+            report.cycles += 1
+            report.events += len(result.events)
+            report.misfires += len(result.misfires)
+            if not result.correct:
+                report.error_cycles += 1
+                if report.first_error_cycle is None:
+                    report.first_error_cycle = result.cycle
+            if keep_history:
+                report.history.append(result)
+        return report
+
+
+def random_stress(circuit: DominoCircuit, cycles: int = 200, seed: int = 0,
+                  hold_probability: float = 0.7,
+                  config: Optional[PBEModelConfig] = None) -> SimulationReport:
+    """Random soak test designed to provoke the PBE.
+
+    Bodies only charge when inputs are *held* for several cycles, so plain
+    uniform-random vectors rarely arm the parasitic device.  This driver
+    repeats the previous vector with probability ``hold_probability`` and
+    otherwise flips a random subset of inputs — mimicking the paper's
+    "steady state ... over a sufficiently large period of time" followed
+    by a switching event.
+    """
+    base_inputs = [name for name in circuit.inputs
+                   if not name.endswith(NEG_SUFFIX)]
+    rng = random.Random(seed)
+    sim = PBESimulator(circuit, config=config)
+
+    def sequence():
+        vector = {name: bool(rng.getrandbits(1)) for name in base_inputs}
+        for _ in range(cycles):
+            if rng.random() >= hold_probability:
+                for name in base_inputs:
+                    if rng.random() < 0.3:
+                        vector[name] = not vector[name]
+            yield dict(vector)
+
+    return sim.run(sequence())

@@ -1,0 +1,39 @@
+"""Simulation and equivalence checking utilities."""
+
+from .logic_sim import (
+    evaluate,
+    evaluate_by_name,
+    evaluate_vectors,
+    exhaustive_vectors,
+    random_vectors,
+    truth_table,
+)
+from .domino_sim import (
+    check_circuit_against_network,
+    evaluate_circuit,
+    evaluate_structure,
+)
+from .equivalence import (
+    Mismatch,
+    assert_equivalent,
+    equivalent_exhaustive,
+    equivalent_random,
+    find_mismatch_random,
+)
+
+__all__ = [
+    "evaluate",
+    "evaluate_by_name",
+    "evaluate_vectors",
+    "exhaustive_vectors",
+    "random_vectors",
+    "truth_table",
+    "check_circuit_against_network",
+    "evaluate_circuit",
+    "evaluate_structure",
+    "Mismatch",
+    "assert_equivalent",
+    "equivalent_exhaustive",
+    "equivalent_random",
+    "find_mismatch_random",
+]

@@ -1,0 +1,123 @@
+"""Functional (evaluate-phase) simulation of mapped domino circuits.
+
+A domino gate's output after a full precharge/evaluate cycle equals its
+pulldown network's steady-state conduction: series composition is AND,
+parallel composition is OR.  This module evaluates a whole
+:class:`DominoCircuit` bit-parallel over packed input words and provides
+equivalence checking of a mapped circuit against the unate network it was
+mapped from (and, through the unate phase convention, against the original
+binate network).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..domino.circuit import DominoCircuit
+from ..domino.structure import Leaf, Parallel, Pulldown, Series
+from ..errors import SimulationError
+from ..network import LogicNetwork
+from ..conventions import NEG_SUFFIX
+from .logic_sim import evaluate_vectors
+
+
+def evaluate_structure(structure: Pulldown, values: Dict[str, int],
+                       mask: int) -> int:
+    """Conduction word of a pulldown structure under packed leaf values."""
+    if isinstance(structure, Leaf):
+        try:
+            return values[structure.signal] & mask
+        except KeyError:
+            raise SimulationError(
+                f"no value for signal {structure.signal!r}") from None
+    if isinstance(structure, Series):
+        word = mask
+        for child in structure.children:
+            word &= evaluate_structure(child, values, mask)
+            if not word:
+                return 0
+        return word
+    if isinstance(structure, Parallel):
+        word = 0
+        for child in structure.children:
+            word |= evaluate_structure(child, values, mask)
+            if word == mask:
+                return word
+        return word
+    raise SimulationError(f"unknown structure node {type(structure)!r}")
+
+
+def evaluate_circuit(circuit: DominoCircuit, input_words: Dict[str, int],
+                     width: int) -> Dict[str, int]:
+    """Evaluate every PO of ``circuit`` over ``width`` packed patterns.
+
+    ``input_words`` maps primary-input names (including complemented
+    phases like ``A_bar``) to packed words.
+    """
+    mask = (1 << width) - 1
+    values: Dict[str, int] = {}
+    for name in circuit.inputs:
+        try:
+            values[name] = input_words[name] & mask
+        except KeyError:
+            raise SimulationError(f"no stimulus for input {name!r}") from None
+
+    for gate in circuit._topological_gates():
+        values[gate.name] = evaluate_structure(gate.structure, values, mask)
+
+    out: Dict[str, int] = {}
+    for po, signal in circuit.outputs.items():
+        out[po] = values[signal]
+    for po, const in circuit.const_outputs.items():
+        out[po] = mask if const else 0
+    return out
+
+
+def check_circuit_against_network(circuit: DominoCircuit,
+                                  network: LogicNetwork,
+                                  vectors: int = 256, seed: int = 0,
+                                  neg_suffix: str = NEG_SUFFIX) -> Optional[str]:
+    """Compare a mapped circuit against a logic network, matching by name.
+
+    The network may be either the unate network the circuit was mapped
+    from, or the *original* binate network: complemented-phase circuit
+    inputs (``X_bar``) are synthesized as the complement of the network's
+    ``X`` input when the network has no PI of that exact name.
+
+    Returns ``None`` when every sampled pattern agrees, otherwise a
+    human-readable description of the first mismatch.
+    """
+    net_pis = {network.node(u).label: u for u in network.pis}
+    net_pos = {network.node(u).label: u for u in network.pos}
+    if set(net_pos) != set(circuit.outputs) | set(circuit.const_outputs):
+        return ("PO sets differ: network has "
+                f"{sorted(net_pos)}, circuit drives "
+                f"{sorted(set(circuit.outputs) | set(circuit.const_outputs))}")
+
+    rng = random.Random(seed)
+    mask = (1 << vectors) - 1
+    base_words = {name: rng.getrandbits(vectors) for name in net_pis}
+
+    circuit_words: Dict[str, int] = {}
+    for name in circuit.inputs:
+        if name in base_words:
+            circuit_words[name] = base_words[name]
+        elif (name.endswith(neg_suffix)
+              and name[: -len(neg_suffix)] in base_words):
+            circuit_words[name] = base_words[name[: -len(neg_suffix)]] ^ mask
+        else:
+            return f"circuit input {name!r} has no counterpart in the network"
+
+    net_out = evaluate_vectors(
+        network, {net_pis[n]: w for n, w in base_words.items()}, vectors)
+    circ_out = evaluate_circuit(circuit, circuit_words, vectors)
+    for po in net_pos:
+        if net_out[net_pos[po]] != circ_out[po]:
+            diff = net_out[net_pos[po]] ^ circ_out[po]
+            bit = (diff & -diff).bit_length() - 1
+            assign = {n: bool((w >> bit) & 1) for n, w in base_words.items()}
+            return (f"output {po!r} differs (pattern {assign}): network="
+                    f"{(net_out[net_pos[po]] >> bit) & 1}, circuit="
+                    f"{(circ_out[po] >> bit) & 1}")
+    return None

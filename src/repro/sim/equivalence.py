@@ -1,0 +1,135 @@
+"""Equivalence checking between logic networks.
+
+Two flavours:
+
+* :func:`equivalent_exhaustive` — exact, for networks with few inputs.
+* :func:`equivalent_random` — Monte-Carlo over shared input names, used to
+  sanity-check synthesis passes on large benchmark circuits.
+
+Networks are matched by PI/PO *names*, so passes that rebuild a network
+from scratch (decomposition, unate conversion) can still be compared
+against the original.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..network import LogicNetwork
+from .logic_sim import evaluate_vectors
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """A counterexample found during equivalence checking."""
+
+    po_name: str
+    pi_values: Dict[str, bool]
+    expected: bool
+    actual: bool
+
+    def __str__(self) -> str:
+        assign = ", ".join(f"{k}={int(v)}" for k, v in sorted(self.pi_values.items()))
+        return (f"output {self.po_name}: expected {int(self.expected)}, "
+                f"got {int(self.actual)} under {assign}")
+
+
+def _name_maps(network: LogicNetwork) -> Tuple[Dict[str, int], Dict[str, int]]:
+    pis = {network.node(u).label: u for u in network.pis}
+    pos = {network.node(u).label: u for u in network.pos}
+    if len(pis) != len(network.pis):
+        raise SimulationError(f"{network.name}: duplicate PI names")
+    if len(pos) != len(network.pos):
+        raise SimulationError(f"{network.name}: duplicate PO names")
+    return pis, pos
+
+
+def _check_interfaces(a: LogicNetwork, b: LogicNetwork):
+    a_pis, a_pos = _name_maps(a)
+    b_pis, b_pos = _name_maps(b)
+    if set(a_pis) != set(b_pis):
+        raise SimulationError(
+            "PI name mismatch: only-in-first="
+            f"{sorted(set(a_pis) - set(b_pis))}, only-in-second="
+            f"{sorted(set(b_pis) - set(a_pis))}")
+    if set(a_pos) != set(b_pos):
+        raise SimulationError(
+            "PO name mismatch: only-in-first="
+            f"{sorted(set(a_pos) - set(b_pos))}, only-in-second="
+            f"{sorted(set(b_pos) - set(a_pos))}")
+    return a_pis, a_pos, b_pis, b_pos
+
+
+def find_mismatch_random(a: LogicNetwork, b: LogicNetwork,
+                         vectors: int = 1024, seed: int = 0,
+                         batch: int = 256) -> Optional[Mismatch]:
+    """Search for a differing input pattern; return the first found or None."""
+    a_pis, a_pos, b_pis, b_pos = _check_interfaces(a, b)
+    rng = random.Random(seed)
+    names = sorted(a_pis)
+    done = 0
+    while done < vectors:
+        width = min(batch, vectors - done)
+        words = {name: rng.getrandbits(width) for name in names}
+        out_a = evaluate_vectors(a, {a_pis[n]: w for n, w in words.items()}, width)
+        out_b = evaluate_vectors(b, {b_pis[n]: w for n, w in words.items()}, width)
+        for po_name in a_pos:
+            wa = out_a[a_pos[po_name]]
+            wb = out_b[b_pos[po_name]]
+            diff = wa ^ wb
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                pattern = {n: bool((words[n] >> bit) & 1) for n in names}
+                return Mismatch(po_name, pattern,
+                                expected=bool((wa >> bit) & 1),
+                                actual=bool((wb >> bit) & 1))
+        done += width
+    return None
+
+
+def equivalent_random(a: LogicNetwork, b: LogicNetwork,
+                      vectors: int = 1024, seed: int = 0) -> bool:
+    """True if no mismatch was found over ``vectors`` random patterns."""
+    return find_mismatch_random(a, b, vectors=vectors, seed=seed) is None
+
+
+def equivalent_exhaustive(a: LogicNetwork, b: LogicNetwork) -> bool:
+    """Exact equivalence over all input patterns (small networks only)."""
+    a_pis, a_pos, b_pis, b_pos = _check_interfaces(a, b)
+    names = sorted(a_pis)
+    n = len(names)
+    if n > 16:
+        raise SimulationError(
+            f"{n} inputs is too many for exhaustive checking; "
+            "use equivalent_random")
+    total = 1 << n
+    words: Dict[str, int] = {}
+    for k, name in enumerate(names):
+        word = 0
+        for i in range(total):
+            if (i >> k) & 1:
+                word |= 1 << i
+        words[name] = word
+    out_a = evaluate_vectors(a, {a_pis[n_]: w for n_, w in words.items()}, total)
+    out_b = evaluate_vectors(b, {b_pis[n_]: w for n_, w in words.items()}, total)
+    return all(out_a[a_pos[p]] == out_b[b_pos[p]] for p in a_pos)
+
+
+def assert_equivalent(a: LogicNetwork, b: LogicNetwork, vectors: int = 1024,
+                      seed: int = 0) -> None:
+    """Raise :class:`SimulationError` with a counterexample on mismatch.
+
+    Uses exhaustive checking when the interface has at most 12 inputs,
+    random vectors otherwise.
+    """
+    if len(a.pis) <= 12:
+        if not equivalent_exhaustive(a, b):
+            mismatch = find_mismatch_random(a, b, vectors=4096, seed=seed)
+            raise SimulationError(f"networks differ: {mismatch}")
+        return
+    mismatch = find_mismatch_random(a, b, vectors=vectors, seed=seed)
+    if mismatch is not None:
+        raise SimulationError(f"networks differ: {mismatch}")

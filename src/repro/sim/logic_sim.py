@@ -1,0 +1,139 @@
+"""Bit-parallel evaluation of logic networks.
+
+Values are Python integers used as bit vectors: one call evaluates up to
+``width`` input patterns at once (machine-word tricks are unnecessary since
+Python integers are arbitrary precision).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence
+
+from ..errors import SimulationError
+from ..network import LogicNetwork, NodeType
+
+
+def evaluate(network: LogicNetwork, pi_values: Dict[int, bool]) -> Dict[int, bool]:
+    """Evaluate ``network`` for a single input pattern.
+
+    Parameters
+    ----------
+    pi_values:
+        Mapping from PI node id to boolean value.  Every PI must be covered.
+
+    Returns
+    -------
+    dict
+        Mapping from PO node id to its boolean value.
+    """
+    packed = {u: (1 if v else 0) for u, v in pi_values.items()}
+    out = evaluate_vectors(network, packed, width=1)
+    return {u: bool(v & 1) for u, v in out.items()}
+
+
+def evaluate_by_name(network: LogicNetwork,
+                     pi_values: Dict[str, bool]) -> Dict[str, bool]:
+    """Like :func:`evaluate` but keyed by PI/PO names instead of node ids."""
+    by_name = {network.node(u).label: u for u in network.pis}
+    missing = set(by_name) - set(pi_values)
+    if missing:
+        raise SimulationError(f"missing values for inputs: {sorted(missing)}")
+    result = evaluate(network, {by_name[k]: v for k, v in pi_values.items()
+                                if k in by_name})
+    return {network.node(u).label: v for u, v in result.items()}
+
+
+def evaluate_vectors(network: LogicNetwork, pi_words: Dict[int, int],
+                     width: int) -> Dict[int, int]:
+    """Evaluate ``width`` patterns at once.
+
+    Each entry of ``pi_words`` is an integer whose bit ``i`` is the value of
+    that PI in pattern ``i``.  Returns a PO-id -> word mapping.
+    """
+    mask = (1 << width) - 1
+    values: Dict[int, int] = {}
+    for uid in network.topological_order():
+        node = network.node(uid)
+        t = node.type
+        if t is NodeType.PI:
+            try:
+                values[uid] = pi_words[uid] & mask
+            except KeyError:
+                raise SimulationError(f"no stimulus for PI {node.label}") from None
+        elif t is NodeType.CONST0:
+            values[uid] = 0
+        elif t is NodeType.CONST1:
+            values[uid] = mask
+        else:
+            ins = [values[f] for f in node.fanins]
+            values[uid] = _apply(t, ins, mask)
+    return {p: values[network.node(p).fanins[0]] for p in network.pos}
+
+
+def _apply(node_type: NodeType, ins: List[int], mask: int) -> int:
+    """Apply a gate function to packed words."""
+    if node_type is NodeType.AND:
+        word = mask
+        for w in ins:
+            word &= w
+        return word
+    if node_type is NodeType.OR:
+        word = 0
+        for w in ins:
+            word |= w
+        return word
+    if node_type is NodeType.NAND:
+        return _apply(NodeType.AND, ins, mask) ^ mask
+    if node_type is NodeType.NOR:
+        return _apply(NodeType.OR, ins, mask) ^ mask
+    if node_type in (NodeType.XOR, NodeType.XNOR):
+        word = 0
+        for w in ins:
+            word ^= w
+        if node_type is NodeType.XNOR:
+            word ^= mask
+        return word
+    if node_type is NodeType.INV:
+        return ins[0] ^ mask
+    if node_type in (NodeType.BUF, NodeType.PO):
+        return ins[0]
+    raise SimulationError(f"cannot evaluate node type {node_type}")
+
+
+def random_vectors(network: LogicNetwork, count: int,
+                   seed: int = 0) -> Dict[int, int]:
+    """Generate ``count`` random patterns for every PI, packed into words."""
+    rng = random.Random(seed)
+    return {u: rng.getrandbits(count) for u in network.pis}
+
+
+def exhaustive_vectors(network: LogicNetwork) -> Dict[int, int]:
+    """All ``2**n`` patterns for an ``n``-input network, packed into words.
+
+    Pattern ``i`` assigns PI ``k`` (in ``network.pis`` order) the value of
+    bit ``k`` of ``i``.  Intended for small ``n`` (raises above 20 inputs).
+    """
+    n = len(network.pis)
+    if n > 20:
+        raise SimulationError(f"exhaustive simulation of {n} inputs is too large")
+    words: Dict[int, int] = {}
+    total = 1 << n
+    for k, uid in enumerate(network.pis):
+        word = 0
+        for i in range(total):
+            if (i >> k) & 1:
+                word |= 1 << i
+        words[uid] = word
+    return words
+
+
+def truth_table(network: LogicNetwork) -> Dict[str, int]:
+    """Exhaustive truth table of every PO, keyed by PO label.
+
+    Bit ``i`` of each returned word is the PO value under pattern ``i``
+    (see :func:`exhaustive_vectors` for the pattern encoding).
+    """
+    words = exhaustive_vectors(network)
+    out = evaluate_vectors(network, words, 1 << len(network.pis))
+    return {network.node(p).label: out[p] for p in network.pos}

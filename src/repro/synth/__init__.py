@@ -1,0 +1,30 @@
+"""Synthesis front end: decomposition, sweeping, unate conversion."""
+
+from .decompose import decompose, is_decomposed
+from .phase_assign import (
+    PhaseAssignment,
+    check_phase_assignment,
+    unate_with_phase_assignment,
+)
+from .sweep import sweep
+from .unate import (
+    NEG_SUFFIX,
+    UnateReport,
+    check_unate_equivalent,
+    unate_convert,
+    unate_with_sweep,
+)
+
+__all__ = [
+    "decompose",
+    "is_decomposed",
+    "sweep",
+    "PhaseAssignment",
+    "check_phase_assignment",
+    "unate_with_phase_assignment",
+    "NEG_SUFFIX",
+    "UnateReport",
+    "check_unate_equivalent",
+    "unate_convert",
+    "unate_with_sweep",
+]

@@ -1,0 +1,121 @@
+"""Network clean-up: constant propagation, redundancy removal, dedup.
+
+``sweep`` is run between synthesis passes so the mapper sees a clean
+2-input AND/OR(/INV) network: no constants feeding gates, no double
+inverters, no structurally duplicate gates, no dangling logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..network import LogicNetwork, NodeType
+
+
+def sweep(network: LogicNetwork) -> LogicNetwork:
+    """Return a cleaned structural copy of ``network``.
+
+    Applies, in one topological pass:
+
+    * constant propagation through AND/OR/INV/BUF gates,
+    * single-fanin AND/OR collapsing and BUF elimination,
+    * double-inverter elimination (``!!a -> a``),
+    * idempotence (``a*a -> a``, ``a+a -> a``),
+    * structural hashing (two gates with the same function and fanins
+      are merged; AND/OR fanins are treated as unordered),
+
+    then drops any logic not reachable from a PO.  PIs are always kept.
+    """
+    out = LogicNetwork(network.name)
+    new_id: Dict[int, int] = {}
+    strash: Dict[Tuple, int] = {}
+    const_cache: Dict[bool, int] = {}
+    inv_of: Dict[int, int] = {}   # new-id -> id of its inverter output
+    inv_src: Dict[int, int] = {}  # inverter new-id -> its fanin new-id
+
+    def make_const(value: bool) -> int:
+        if value not in const_cache:
+            const_cache[value] = out.add_const(value)
+        return const_cache[value]
+
+    def const_value(uid: int):
+        t = out.node(uid).type
+        if t is NodeType.CONST0:
+            return False
+        if t is NodeType.CONST1:
+            return True
+        return None
+
+    def make_inv(fanin: int, name: str = "") -> int:
+        value = const_value(fanin)
+        if value is not None:
+            return make_const(not value)
+        if fanin in inv_src:          # !!a -> a
+            return inv_src[fanin]
+        if fanin in inv_of:           # reuse an existing inverter
+            return inv_of[fanin]
+        uid = out.add_inv(fanin, name)
+        inv_of[fanin] = uid
+        inv_src[uid] = fanin
+        return uid
+
+    def complementary(a: int, b: int) -> bool:
+        return inv_src.get(a) == b or inv_src.get(b) == a
+
+    def make_gate(t: NodeType, a: int, b: int, name: str = "") -> int:
+        ca, cb = const_value(a), const_value(b)
+        if t is NodeType.AND:
+            if ca is False or cb is False:
+                return make_const(False)
+            if ca is True:
+                return b
+            if cb is True:
+                return a
+            if complementary(a, b):  # a * !a
+                return make_const(False)
+        else:  # OR
+            if ca is True or cb is True:
+                return make_const(True)
+            if ca is False:
+                return b
+            if cb is False:
+                return a
+            if complementary(a, b):  # a + !a
+                return make_const(True)
+        if a == b:
+            return a
+        key = (t, min(a, b), max(a, b))
+        if key in strash:
+            return strash[key]
+        uid = out.add_gate(t, (a, b), name)
+        strash[key] = uid
+        return uid
+
+    for uid in network.topological_order():
+        node = network.node(uid)
+        t = node.type
+        if t is NodeType.PI:
+            new_id[uid] = out.add_pi(node.name)
+        elif t is NodeType.PO:
+            new_id[uid] = out.add_po(new_id[node.fanins[0]], node.name)
+        elif t is NodeType.CONST0:
+            new_id[uid] = make_const(False)
+        elif t is NodeType.CONST1:
+            new_id[uid] = make_const(True)
+        elif t is NodeType.BUF:
+            new_id[uid] = new_id[node.fanins[0]]
+        elif t is NodeType.INV:
+            new_id[uid] = make_inv(new_id[node.fanins[0]], node.name)
+        elif t in (NodeType.AND, NodeType.OR) and len(node.fanins) == 2:
+            a, b = (new_id[f] for f in node.fanins)
+            new_id[uid] = make_gate(t, a, b, node.name)
+        elif t in (NodeType.AND, NodeType.OR) and len(node.fanins) == 1:
+            new_id[uid] = new_id[node.fanins[0]]
+        else:
+            # Wider or non-AND/OR gates: copy verbatim (sweep may be called
+            # before decomposition).
+            new_id[uid] = out.add_gate(
+                t, tuple(new_id[f] for f in node.fanins), node.name)
+
+    out.remove_unused()
+    return out

@@ -1,0 +1,297 @@
+"""Functional correctness of the benchmark-circuit generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench_suite import (
+    alu,
+    array_multiplier,
+    carry_lookahead_adder,
+    comparator,
+    cordic_stage,
+    counter_bank,
+    des_round,
+    incrementer,
+    multiplexer,
+    mux_tree,
+    mux_two_level,
+    nine_sym,
+    parity_tree,
+    priority_interrupt_controller,
+    ripple_adder,
+    sec_corrector,
+    sec_ded,
+    sec_encoder,
+    S_BOXES,
+)
+from repro.sim import evaluate_by_name, evaluate_vectors, truth_table
+
+
+def _apply(net, assignment):
+    return evaluate_by_name(net, assignment)
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [1, 3, 4])
+    def test_ripple_adder_matches_integers(self, width):
+        net = ripple_adder(width)
+        rng = random.Random(0)
+        for _ in range(20):
+            a = rng.getrandbits(width)
+            b = rng.getrandbits(width)
+            cin = rng.getrandbits(1)
+            values = {f"a{i}": bool((a >> i) & 1) for i in range(width)}
+            values.update({f"b{i}": bool((b >> i) & 1) for i in range(width)})
+            values["cin"] = bool(cin)
+            out = _apply(net, values)
+            total = a + b + cin
+            for i in range(width):
+                assert out[f"s{i}"] == bool((total >> i) & 1)
+            assert out["cout"] == bool((total >> width) & 1)
+
+    def test_cla_equals_ripple(self):
+        ripple = truth_table(ripple_adder(3, name="x"))
+        cla = truth_table(carry_lookahead_adder(3, name="x"))
+        assert ripple == cla
+
+
+class TestMultiplier:
+    def test_3x3_products(self):
+        net = array_multiplier(3)
+        for a in range(8):
+            for b in range(8):
+                values = {f"a{i}": bool((a >> i) & 1) for i in range(3)}
+                values.update({f"b{i}": bool((b >> i) & 1) for i in range(3)})
+                out = _apply(net, values)
+                product = sum((1 << i) for i in range(6) if out[f"p{i}"])
+                assert product == a * b, (a, b)
+
+
+class TestMuxes:
+    @pytest.mark.parametrize("factory", [multiplexer, mux_tree,
+                                         lambda k: mux_two_level(k, 2)])
+    def test_mux_selects_correct_input(self, factory):
+        net = factory(2)
+        for sel in range(4):
+            for data in range(16):
+                values = {f"d{i}": bool((data >> i) & 1) for i in range(4)}
+                values.update({f"s{k}": bool((sel >> k) & 1)
+                               for k in range(2)})
+                assert _apply(net, values)["y"] == bool((data >> sel) & 1)
+
+    def test_all_16to1_variants_equivalent(self):
+        rng = random.Random(1)
+        nets = [multiplexer(4, name="m"), mux_tree(4, name="m"),
+                mux_two_level(4, 2, name="m")]
+        vectors = 64
+        words = {}
+        for net in nets:
+            for u in net.pis:
+                words.setdefault(net.node(u).label, rng.getrandbits(vectors))
+        outs = []
+        for net in nets:
+            pi = {u: words[net.node(u).label] for u in net.pis}
+            outs.append(evaluate_vectors(net, pi, vectors)[net.pos[0]])
+        assert outs[0] == outs[1] == outs[2]
+
+
+class TestCountingCircuits:
+    def test_incrementer(self):
+        net = incrementer(4)
+        for q in range(16):
+            for en in (0, 1):
+                values = {f"q{i}": bool((q >> i) & 1) for i in range(4)}
+                values["en"] = bool(en)
+                out = _apply(net, values)
+                total = (q + en) & 0xF
+                for i in range(4):
+                    assert out[f"n{i}"] == bool((total >> i) & 1)
+                assert out["tc"] == (q == 15 and en == 1)
+
+    def test_counter_bank_interface(self):
+        net = counter_bank(4, 2)
+        assert len(net.pis) == 9
+        assert len(net.pos) == 9
+
+    def test_parity_tree(self):
+        net = parity_tree(5)
+        for value in range(32):
+            values = {f"i{k}": bool((value >> k) & 1) for k in range(5)}
+            assert _apply(net, values)["p"] == bool(bin(value).count("1") % 2)
+
+
+class TestSymmetric:
+    def test_nine_sym_definition(self):
+        net = nine_sym()
+        rng = random.Random(2)
+        for _ in range(60):
+            value = rng.getrandbits(9)
+            values = {f"i{k}": bool((value >> k) & 1) for k in range(9)}
+            ones = bin(value).count("1")
+            assert _apply(net, values)["f"] == (3 <= ones <= 6)
+
+    def test_nine_sym_is_symmetric(self):
+        net = nine_sym()
+        rng = random.Random(3)
+        for _ in range(20):
+            value = rng.getrandbits(9)
+            bits = [(value >> k) & 1 for k in range(9)]
+            rng.shuffle(bits)
+            shuffled = sum(b << k for k, b in enumerate(bits))
+            v1 = {f"i{k}": bool((value >> k) & 1) for k in range(9)}
+            v2 = {f"i{k}": bool((shuffled >> k) & 1) for k in range(9)}
+            assert _apply(net, v1)["f"] == _apply(net, v2)["f"]
+
+
+class TestEcc:
+    def test_single_error_corrected(self):
+        data_bits = 8
+        enc = sec_encoder(data_bits)
+        cor = sec_corrector(data_bits)
+        rng = random.Random(4)
+        for _ in range(15):
+            data = rng.getrandbits(data_bits)
+            data_vals = {f"d{i}": bool((data >> i) & 1)
+                         for i in range(data_bits)}
+            checks = _apply(enc, data_vals)
+            flip = rng.randrange(data_bits)
+            corrupted = dict(data_vals)
+            corrupted[f"d{flip}"] = not corrupted[f"d{flip}"]
+            corrupted.update({k: v for k, v in checks.items()})
+            out = _apply(cor, corrupted)
+            for i in range(data_bits):
+                assert out[f"q{i}"] == bool((data >> i) & 1), (data, flip)
+
+    def test_no_error_passthrough(self):
+        data_bits = 8
+        enc = sec_encoder(data_bits)
+        cor = sec_corrector(data_bits)
+        data_vals = {f"d{i}": bool(i % 2) for i in range(data_bits)}
+        checks = _apply(enc, data_vals)
+        out = _apply(cor, {**data_vals, **checks})
+        for i in range(data_bits):
+            assert out[f"q{i}"] == data_vals[f"d{i}"]
+        assert all(not out[s] for s in out if s.startswith("s"))
+
+    def test_sec_ded_interface(self):
+        net = sec_ded(8)
+        assert any(net.node(u).label == "ded" for u in net.pos)
+
+
+class TestDes:
+    def test_sbox_logic_matches_tables(self):
+        net = des_round()
+        rng = random.Random(5)
+        # With key = 0, sbox block b sees E(r)[6b:6b+6] directly.
+        for _ in range(5):
+            r = rng.getrandbits(32)
+            values = {f"r{i}": bool((r >> i) & 1) for i in range(32)}
+            values.update({f"k{i}": False for i in range(48)})
+            out = _apply(net, values)
+            from repro.bench_suite.des import E_TABLE, P_TABLE
+
+            expanded = [(r >> (E_TABLE[i] - 1)) & 1 for i in range(48)]
+            sbox_bits = []
+            for box in range(8):
+                ins = expanded[box * 6:(box + 1) * 6]
+                row = ins[0] | (ins[5] << 1)
+                col = sum(ins[1 + k] << k for k in range(4))
+                value = S_BOXES[box][row][col]
+                sbox_bits.extend((value >> k) & 1 for k in range(4))
+            for i in range(32):
+                assert out[f"f{i}"] == bool(sbox_bits[P_TABLE[i] - 1]), i
+
+    def test_round_interface(self):
+        net = des_round()
+        assert len(net.pis) == 80
+        assert len(net.pos) == 32
+
+
+class TestControl:
+    def test_comparator(self):
+        net = comparator(3)
+        for a in range(8):
+            for b in range(8):
+                values = {f"a{i}": bool((a >> i) & 1) for i in range(3)}
+                values.update({f"b{i}": bool((b >> i) & 1) for i in range(3)})
+                out = _apply(net, values)
+                assert out["eq"] == (a == b)
+                assert out["lt"] == (a < b)
+                assert out["gt"] == (a > b)
+
+    def test_alu_operations(self):
+        net = alu(4)
+        rng = random.Random(6)
+        ops = {(0, 0): lambda a, b: (a + b) & 0xF,
+               (1, 0): lambda a, b: a & b,
+               (0, 1): lambda a, b: a | b,
+               (1, 1): lambda a, b: a ^ b}
+        for (s0, s1), fn in ops.items():
+            for _ in range(10):
+                a = rng.getrandbits(4)
+                b = rng.getrandbits(4)
+                values = {f"a{i}": bool((a >> i) & 1) for i in range(4)}
+                values.update({f"b{i}": bool((b >> i) & 1) for i in range(4)})
+                values.update(s0=bool(s0), s1=bool(s1), inv_b=False,
+                              cin=False)
+                out = _apply(net, values)
+                expected = fn(a, b)
+                got = sum((1 << i) for i in range(4) if out[f"r{i}"])
+                assert got == expected, ((s0, s1), a, b)
+                assert out["zero"] == (expected == 0)
+
+    def test_alu_subtract_via_invert(self):
+        net = alu(4)
+        values = {f"a{i}": bool((9 >> i) & 1) for i in range(4)}
+        values.update({f"b{i}": bool((3 >> i) & 1) for i in range(4)})
+        values.update(s0=False, s1=False, inv_b=True, cin=True)
+        out = _apply(net, values)
+        got = sum((1 << i) for i in range(4) if out[f"r{i}"])
+        assert got == (9 - 3) & 0xF
+
+    def test_interrupt_controller_priority(self):
+        net = priority_interrupt_controller(9, 3)
+        base = {f"r{i}": False for i in range(9)}
+        base.update({f"m{i}": True for i in range(9)})
+        # request on channel 4 (group 1) only
+        values = dict(base, r4=True)
+        out = _apply(net, values)
+        assert out["grant1"] is True
+        assert out["grant0"] is False and out["grant2"] is False
+        # group 0 outranks group 1
+        values = dict(base, r4=True, r2=True)
+        out = _apply(net, values)
+        assert out["grant0"] is True and out["grant1"] is False
+        # masked request is ignored
+        values = dict(base, r2=True, m2=False, r4=True)
+        out = _apply(net, values)
+        assert out["grant1"] is True
+
+    def test_cordic_stage_arithmetic(self):
+        width = 6
+        net = cordic_stage(width)
+        rng = random.Random(7)
+
+        def as_signed(value):
+            return value - (1 << width) if value >> (width - 1) else value
+
+        for _ in range(20):
+            x = rng.getrandbits(width)
+            y = rng.getrandbits(width)
+            d = rng.getrandbits(1)
+            values = {f"x{i}": bool((x >> i) & 1) for i in range(width)}
+            values.update({f"y{i}": bool((y >> i) & 1) for i in range(width)})
+            values["d"] = bool(d)
+            out = _apply(net, values)
+            xs, ys = as_signed(x), as_signed(y)
+            shift_y = ys >> 1
+            shift_x = xs >> 1
+            # d=1: x' = x - (y>>1); y' = y + (x>>1); d=0 the opposite signs
+            exp_x = (xs - shift_y) if d else (xs + shift_y)
+            exp_y = (ys + shift_x) if d else (ys - shift_x)
+            got_x = sum((1 << i) for i in range(width) if out[f"xo{i}"])
+            got_y = sum((1 << i) for i in range(width) if out[f"yo{i}"])
+            assert got_x == exp_x & ((1 << width) - 1)
+            assert got_y == exp_y & ((1 << width) - 1)

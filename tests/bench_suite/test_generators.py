@@ -1,0 +1,96 @@
+"""Tests for the random network generator and the registry."""
+
+import pytest
+
+from repro.bench_suite import (
+    circuit_names,
+    get_spec,
+    load_circuit,
+    random_network,
+)
+from repro.errors import BenchmarkError
+from repro.io import save_bench
+from repro.network import network_stats
+
+
+class TestRandomGenerator:
+    def test_deterministic(self):
+        a = random_network("r", 8, 40, 4, seed=5)
+        b = random_network("r", 8, 40, 4, seed=5)
+        assert [(n.uid, n.type, n.fanins) for n in a] == \
+            [(n.uid, n.type, n.fanins) for n in b]
+
+    def test_seed_changes_result(self):
+        a = random_network("r", 8, 40, 4, seed=5)
+        b = random_network("r", 8, 40, 4, seed=6)
+        assert [(n.uid, n.type, n.fanins) for n in a] != \
+            [(n.uid, n.type, n.fanins) for n in b]
+
+    def test_interface_counts(self):
+        net = random_network("r", 10, 60, 7, seed=1)
+        assert len(net.pis) == 10
+        assert len(net.pos) == 7
+        net.validate()
+
+    def test_depth_roughly_bounded(self):
+        net = random_network("r", 10, 200, 5, seed=2, depth_target=12)
+        # funnel trees may add a few levels on top of the target
+        assert net.depth() <= 12 + 12
+
+    def test_no_dead_logic(self):
+        net = random_network("r", 10, 80, 4, seed=3)
+        before = len(net)
+        net.remove_unused()
+        assert len(net) == before
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(BenchmarkError):
+            random_network("r", 8, 10, 2, p_and=0.9, p_or=0.9,
+                           p_inv=0.0, p_xor=0.0)
+
+    def test_degenerate_interface_rejected(self):
+        with pytest.raises(BenchmarkError):
+            random_network("r", 1, 10, 1)
+        with pytest.raises(BenchmarkError):
+            random_network("r", 4, 2, 10)  # more POs than gates
+
+
+class TestRegistry:
+    def test_all_paper_circuits_present(self):
+        names = set(circuit_names())
+        for required in ("cm150", "mux", "z4ml", "cordic", "frg1", "f51m",
+                         "count", "b9", "9symml", "apex7", "c432", "c880",
+                         "t481", "c1355", "c499", "apex6", "c1908", "k2",
+                         "c2670", "c5315", "c7552", "des", "c8", "x1", "i6",
+                         "dalu", "rot", "c3540"):
+            assert required in names, required
+
+    def test_specs_have_metadata(self):
+        for name in circuit_names():
+            spec = get_spec(name)
+            assert spec.kind in ("functional", "random")
+            assert spec.description
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown"):
+            get_spec("nonesuch")
+
+    def test_load_builds_named_network(self):
+        net = load_circuit("z4ml")
+        assert net.name == "z4ml"
+        net.validate()
+
+    def test_loads_are_deterministic(self):
+        a = network_stats(load_circuit("frg1"))
+        b = network_stats(load_circuit("frg1"))
+        assert a == b
+
+    def test_bench_dir_overrides_generator(self, tmp_path):
+        # write a tiny .bench file named like a registry circuit
+        from repro.network import network_from_expression
+
+        tiny = network_from_expression("a * b", name="frg1")
+        save_bench(tiny, str(tmp_path / "frg1.bench"))
+        net = load_circuit("frg1", bench_dir=str(tmp_path))
+        assert len(net.pis) == 2  # the file, not the generator
+        assert net.name == "frg1"

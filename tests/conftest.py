@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network import LogicNetwork, NodeType, network_from_expression
+
+
+@pytest.fixture
+def fig2a_network() -> LogicNetwork:
+    """The paper's running example: (A + B + C) * D."""
+    return network_from_expression("(A + B + C) * D", name="fig2a")
+
+
+@pytest.fixture
+def fig3_network() -> LogicNetwork:
+    """The paper's Figure 3 worked example: (a*b) + (c*d)."""
+    net = LogicNetwork("fig3")
+    a, b, c, d = (net.add_pi(x) for x in "abcd")
+    net.add_po(net.add_or(net.add_and(a, b), net.add_and(c, d)), "out")
+    return net
+
+
+@pytest.fixture
+def small_binate_network() -> LogicNetwork:
+    """A small network exercising inverters, XOR and reconvergence."""
+    return network_from_expression(
+        "(!a * b + a * !b) * (c + !d) + !(a + c)", name="binate")
+
+
+def make_random_network(seed: int, n_pi: int = 6, n_gates: int = 25,
+                        n_po: int = 3) -> LogicNetwork:
+    """Small deterministic random network for property-style tests."""
+    rng = random.Random(seed)
+    net = LogicNetwork(f"rand{seed}")
+    signals = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    for _ in range(n_gates):
+        a = rng.choice(signals)
+        b = rng.choice(signals)
+        roll = rng.random()
+        if roll < 0.35:
+            signals.append(net.add_and(a, b))
+        elif roll < 0.70:
+            signals.append(net.add_or(a, b))
+        elif roll < 0.85:
+            signals.append(net.add_inv(a))
+        else:
+            signals.append(net.add_gate(NodeType.XOR, (a, b)))
+    for index in range(n_po):
+        net.add_po(signals[-(index + 1)], f"o{index}")
+    return net

@@ -1,0 +1,124 @@
+"""Tests for the static PBE discharge-point analysis.
+
+The figure-based cases lock in the paper's worked examples (Figures 4
+and 5); the remaining tests cover the recursive classification rules.
+"""
+
+from repro.domino import (
+    Leaf,
+    analyse,
+    count_discharge_transistors,
+    p_dis,
+    par_b,
+    parallel,
+    series,
+)
+
+
+def L(name: str) -> Leaf:
+    return Leaf(name)
+
+
+def fig4a():
+    """(A*B) + C — one potential discharge point at the A-B junction."""
+    return parallel(series(L("A"), L("B")), L("C"))
+
+
+class TestPaperFigures:
+    def test_figure_4a(self):
+        analysis = analyse(fig4a())
+        assert len(analysis.committed) == 0
+        assert analysis.p_dis == 1
+        assert analysis.ends_in_parallel
+
+    def test_figure_4b(self):
+        """(D*E + F) stacked on (A*B + C): two committed, one potential."""
+        top = parallel(series(L("D"), L("E")), L("F"))
+        structure = series(top, fig4a())
+        analysis = analyse(structure)
+        assert len(analysis.committed) == 2
+        assert analysis.p_dis == 1
+        assert analysis.ends_in_parallel
+
+    def test_figure_5_left(self):
+        """(A*B + C) over E: two discharge transistors committed."""
+        analysis = analyse(series(fig4a(), L("E")))
+        assert len(analysis.committed) == 2
+        assert analysis.p_dis == 0
+        assert not analysis.ends_in_parallel
+
+    def test_figure_5_right(self):
+        """E over (A*B + C): no commits, two potential points."""
+        analysis = analyse(series(L("E"), fig4a()))
+        assert len(analysis.committed) == 0
+        assert analysis.p_dis == 2
+        assert analysis.ends_in_parallel
+
+    def test_figure_2a_orderings(self):
+        """(A+B+C)*D: stack on top needs a discharge, stack at bottom none."""
+        stack = parallel(L("A"), L("B"), L("C"))
+        bulk = series(stack, L("D"))
+        soi = series(L("D"), stack)
+        assert count_discharge_transistors(bulk, grounded=True) == 1
+        assert count_discharge_transistors(soi, grounded=True) == 0
+
+
+class TestRules:
+    def test_leaf_has_no_points(self):
+        analysis = analyse(L("a"))
+        assert analysis.committed == ()
+        assert analysis.potential == ()
+
+    def test_series_junctions_are_potential(self):
+        analysis = analyse(series(L("a"), L("b"), L("c")))
+        assert len(analysis.committed) == 0
+        assert analysis.p_dis == 2  # two junctions
+
+    def test_parallel_of_leaves_has_no_points(self):
+        analysis = analyse(parallel(L("a"), L("b"), L("c")))
+        assert analysis.p_dis == 0
+        assert analysis.committed == ()
+
+    def test_grounding_protects_potential_points(self):
+        structure = series(L("E"), fig4a())
+        assert count_discharge_transistors(structure, grounded=True) == 0
+        assert count_discharge_transistors(structure, grounded=False) == 2
+
+    def test_required_set_monotone_in_grounding(self):
+        structures = [
+            fig4a(),
+            series(fig4a(), fig4a()),
+            series(parallel(series(L("a"), L("b")), L("c")),
+                   parallel(L("d"), series(L("e"), L("f")))),
+        ]
+        for s in structures:
+            analysis = analyse(s)
+            grounded = set(analysis.required(True))
+            floating = set(analysis.required(False))
+            assert grounded <= floating
+
+    def test_stacked_parallels_commit_upper(self):
+        # Two parallel stacks in series: only the bottom one can be
+        # protected by ground; the junction below the upper one commits.
+        upper = parallel(L("a"), L("b"))
+        lower = parallel(L("c"), L("d"))
+        analysis = analyse(series(upper, lower))
+        assert len(analysis.committed) == 1
+        assert analysis.p_dis == 0
+
+    def test_deep_nesting_counts(self):
+        # ((a*b)+c) * ((d*e)+f) * g : top two OR stacks commit everything
+        structure = series(fig4a(),
+                           parallel(series(L("d"), L("e")), L("f")),
+                           L("g"))
+        analysis = analyse(structure)
+        # fig4a on top: 1 potential + its stack bottom junction = 2
+        # second OR: 1 potential + its stack bottom junction = 2
+        assert len(analysis.committed) == 4
+        assert analysis.p_dis == 0
+
+    def test_helper_functions(self):
+        structure = series(L("E"), fig4a())
+        assert p_dis(structure) == 2
+        assert par_b(structure)
+        assert not par_b(series(fig4a(), L("E")))

@@ -1,0 +1,86 @@
+"""Tests for DominoGate accounting."""
+
+import pytest
+
+from repro.domino import DominoGate, Leaf, parallel, series
+from repro.errors import StructureError
+
+
+def L(name, primary=True, gate=None):
+    return Leaf(name, is_primary=primary, source_gate=gate)
+
+
+def test_footed_when_primary_inputs_present():
+    gate = DominoGate.from_structure("g", series(L("a"), L("b")))
+    assert gate.footed
+    assert gate.t_overhead == 5
+
+
+def test_footless_when_all_gate_driven():
+    structure = series(L("g1", primary=False, gate=1),
+                       L("g2", primary=False, gate=2))
+    gate = DominoGate.from_structure("g", structure)
+    assert not gate.footed
+    assert gate.t_overhead == 4
+
+
+def test_accounting_matches_paper_conventions():
+    # (A+B+C)*D bulk form: 4 pulldown + 5 overhead + 1 discharge
+    structure = series(parallel(L("A"), L("B"), L("C")), L("D"))
+    gate = DominoGate.from_structure("g", structure)
+    assert gate.t_pulldown == 4
+    assert gate.t_logic == 9
+    assert gate.t_disch == 1
+    assert gate.t_total == 10
+    assert gate.t_clock == 3  # p-clock + n-clock + 1 discharge
+
+
+def test_pessimistic_grounding_adds_potential_points():
+    structure = series(L("D"), parallel(series(L("A"), L("B")), L("C")))
+    optimistic = DominoGate.from_structure("g", structure, grounded=True)
+    pessimistic = DominoGate.from_structure("g", structure, grounded=False)
+    assert optimistic.t_disch == 0
+    assert pessimistic.t_disch == 2
+
+
+def test_width_height_exposed():
+    gate = DominoGate.from_structure(
+        "g", series(parallel(L("a"), L("b")), L("c")))
+    assert gate.width == 2
+    assert gate.height == 2
+
+
+def test_validate_passes_for_consistent_gate():
+    gate = DominoGate.from_structure(
+        "g", series(parallel(series(L("a"), L("b")), L("c")), L("d")))
+    gate.validate(w_max=5, h_max=8)
+
+
+def test_validate_rejects_wrong_footedness():
+    gate = DominoGate.from_structure("g", series(L("a"), L("b")))
+    gate.footed = False
+    with pytest.raises(StructureError, match="footed"):
+        gate.validate()
+
+
+def test_validate_rejects_missing_committed_discharge():
+    structure = series(parallel(series(L("a"), L("b")), L("c")), L("d"))
+    gate = DominoGate.from_structure("g", structure)
+    assert gate.t_disch == 2
+    gate.discharge_points = ()
+    with pytest.raises(StructureError, match="no discharge transistor"):
+        gate.validate()
+
+
+def test_validate_rejects_bogus_discharge_point():
+    gate = DominoGate.from_structure("g", series(L("a"), L("b")))
+    gate.discharge_points = (((9, 9), 4),)
+    with pytest.raises(StructureError, match="not a junction"):
+        gate.validate()
+
+
+def test_validate_rejects_limit_violation():
+    gate = DominoGate.from_structure(
+        "g", parallel(*[L(f"x{i}") for i in range(6)]))
+    with pytest.raises(StructureError, match="width"):
+        gate.validate(w_max=5)

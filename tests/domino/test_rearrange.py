@@ -1,0 +1,97 @@
+"""Tests for the RS series-stack rearrangement pass."""
+
+import itertools
+import random
+
+from repro.domino import (
+    Leaf,
+    analyse,
+    count_discharge_transistors,
+    discharge_saving,
+    parallel,
+    rearrange,
+    series,
+)
+
+
+def L(name):
+    return Leaf(name)
+
+
+def _leaf_multiset(structure):
+    return sorted(leaf.signal for leaf in structure.leaves())
+
+
+def random_structure(rng: random.Random, names, depth=3):
+    if depth == 0 or rng.random() < 0.35:
+        return L(next(names))
+    op = series if rng.random() < 0.5 else parallel
+    children = [random_structure(rng, names, depth - 1)
+                for _ in range(rng.randint(2, 3))]
+    return op(*children)
+
+
+def test_figure5_choice():
+    stack = parallel(series(L("A"), L("B")), L("C"))
+    bad = series(stack, L("E"))
+    fixed = rearrange(bad)
+    # the parallel stack must sink to the bottom
+    assert fixed.ends_in_parallel
+    assert count_discharge_transistors(fixed, grounded=True) == 0
+    assert count_discharge_transistors(bad, grounded=True) == 2
+
+
+def test_rearrange_never_increases_discharges():
+    rng = random.Random(42)
+    counter = itertools.count()
+    names = (f"s{i}" for i in counter)
+    for _ in range(60):
+        structure = random_structure(rng, names)
+        before, after = discharge_saving(structure, grounded=True)
+        assert after <= before
+
+
+def test_rearrange_preserves_leaves():
+    rng = random.Random(7)
+    counter = itertools.count()
+    names = (f"s{i}" for i in counter)
+    for _ in range(40):
+        structure = random_structure(rng, names)
+        assert _leaf_multiset(structure) == _leaf_multiset(rearrange(structure))
+
+
+def test_rearrange_preserves_dimensions():
+    rng = random.Random(11)
+    counter = itertools.count()
+    names = (f"s{i}" for i in counter)
+    for _ in range(40):
+        structure = random_structure(rng, names)
+        out = rearrange(structure)
+        assert out.width == structure.width
+        assert out.height == structure.height
+        assert out.num_transistors == structure.num_transistors
+
+
+def test_rearrange_idempotent():
+    rng = random.Random(13)
+    counter = itertools.count()
+    names = (f"s{i}" for i in counter)
+    for _ in range(30):
+        structure = random_structure(rng, names)
+        once = rearrange(structure)
+        assert rearrange(once) == once
+
+
+def test_rearrange_leaf_noop():
+    leaf = L("a")
+    assert rearrange(leaf) is leaf
+
+
+def test_recursive_rearrangement_reaches_inner_stacks():
+    inner_bad = series(parallel(L("a"), L("b")), L("c"))  # stack on top
+    structure = parallel(inner_bad, L("d"))
+    fixed = rearrange(structure)
+    # the inner stack sinks: its committed point becomes merely potential
+    # (protected once the enclosing gate grounds the shared bottom)
+    assert len(analyse(fixed).committed) == 0
+    assert len(analyse(structure).committed) == 1

@@ -1,0 +1,118 @@
+"""Tests for pulldown structure trees."""
+
+import pytest
+
+from repro.domino import (
+    Leaf,
+    Parallel,
+    Series,
+    check_limits,
+    gate_leaf_refs,
+    has_primary_leaf,
+    parallel,
+    series,
+)
+from repro.errors import StructureError
+
+
+def L(name: str, primary: bool = True, gate=None) -> Leaf:
+    return Leaf(name, is_primary=primary, source_gate=gate)
+
+
+class TestMetrics:
+    def test_leaf(self):
+        leaf = L("a")
+        assert leaf.width == 1
+        assert leaf.height == 1
+        assert leaf.num_transistors == 1
+        assert not leaf.ends_in_parallel
+
+    def test_series_dimensions(self):
+        s = series(L("a"), L("b"), L("c"))
+        assert s.width == 1
+        assert s.height == 3
+        assert s.num_transistors == 3
+        assert not s.ends_in_parallel
+
+    def test_parallel_dimensions(self):
+        p = parallel(L("a"), L("b"), L("c"))
+        assert p.width == 3
+        assert p.height == 1
+        assert p.ends_in_parallel
+
+    def test_mixed_dimensions(self):
+        # (A+B+C) * D, the paper's figure 2(a)
+        s = series(parallel(L("A"), L("B"), L("C")), L("D"))
+        assert s.width == 3
+        assert s.height == 2
+        assert s.num_transistors == 4
+        assert not s.ends_in_parallel  # D at the bottom
+
+    def test_par_b_set_by_bottom(self):
+        s = series(L("D"), parallel(L("A"), L("B")))
+        assert s.ends_in_parallel
+
+
+class TestComposition:
+    def test_nested_series_flattened(self):
+        s = series(series(L("a"), L("b")), L("c"))
+        assert isinstance(s, Series)
+        assert len(s.children) == 3
+        assert [str(c) for c in s.children] == ["a", "b", "c"]
+
+    def test_nested_parallel_flattened(self):
+        p = parallel(parallel(L("a"), L("b")), L("c"))
+        assert len(p.children) == 3
+
+    def test_flattening_preserves_top_bottom_order(self):
+        s = series(L("top"), series(L("mid"), L("bot")))
+        assert str(s.top) == "top"
+        assert str(s.bottom) == "bot"
+
+    def test_single_element_collapses(self):
+        assert isinstance(series(L("a")), Leaf)
+        assert isinstance(parallel(L("a")), Leaf)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StructureError):
+            series()
+        with pytest.raises(StructureError):
+            parallel()
+
+    def test_structural_equality(self):
+        a = series(L("a"), parallel(L("b"), L("c")))
+        b = series(L("a"), parallel(L("b"), L("c")))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != series(parallel(L("b"), L("c")), L("a"))
+
+
+class TestLeafQueries:
+    def test_has_primary_leaf(self):
+        assert has_primary_leaf(series(L("a"), L("g", primary=False, gate=3)))
+        assert not has_primary_leaf(parallel(L("g1", primary=False, gate=1),
+                                             L("g2", primary=False, gate=2)))
+
+    def test_gate_leaf_refs(self):
+        s = series(L("a"), parallel(L("g1", primary=False, gate=10),
+                                    L("g2", primary=False, gate=11)))
+        assert sorted(gate_leaf_refs(s)) == [10, 11]
+
+    def test_leaves_in_order(self):
+        s = series(L("a"), parallel(L("b"), L("c")), L("d"))
+        assert [leaf.signal for leaf in s.leaves()] == ["a", "b", "c", "d"]
+
+
+class TestLimits:
+    def test_within_limits(self):
+        check_limits(series(parallel(L("a"), L("b")), L("c")), w_max=5, h_max=8)
+
+    def test_width_violation(self):
+        wide = parallel(*[L(f"x{i}") for i in range(6)])
+        with pytest.raises(StructureError, match="width"):
+            check_limits(wide, w_max=5, h_max=8)
+
+    def test_height_violation(self):
+        tall = series(*[L(f"x{i}") for i in range(9)])
+        with pytest.raises(StructureError, match="height"):
+            check_limits(tall, w_max=5, h_max=8)

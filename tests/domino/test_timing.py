@@ -1,0 +1,92 @@
+"""Tests for the Elmore delay estimator."""
+
+import pytest
+
+from repro.domino import (
+    DominoGate,
+    Leaf,
+    circuit_timing,
+    gate_delay,
+    parallel,
+    rearrange,
+    series,
+)
+from repro.mapping import domino_map, soi_domino_map
+from repro.network import network_from_expression
+
+
+def L(name, primary=True, gate=None):
+    return Leaf(name, is_primary=primary, source_gate=gate)
+
+
+class TestGateDelay:
+    def test_taller_stack_is_slower(self):
+        short = DominoGate.from_structure("s", series(L("a"), L("b")))
+        tall = DominoGate.from_structure(
+            "t", series(L("a"), L("b"), L("c"), L("d")))
+        assert gate_delay(tall).total > gate_delay(short).total
+
+    def test_parallel_width_is_free_in_depth_but_loads_node(self):
+        narrow = DominoGate.from_structure("n", parallel(L("a"), L("b")))
+        wide = DominoGate.from_structure(
+            "w", parallel(L("a"), L("b"), L("c"), L("d")))
+        # same stack height, but more diffusion on the dynamic node
+        assert gate_delay(wide).dynamic_load > gate_delay(narrow).dynamic_load
+        assert gate_delay(wide).total >= gate_delay(narrow).total
+
+    def test_discharge_transistors_load_their_junctions(self):
+        structure = series(parallel(series(L("a"), L("b")), L("c")), L("d"))
+        protected = DominoGate.from_structure("p", structure)
+        assert protected.t_disch > 0
+        stripped = DominoGate(name="s", structure=structure,
+                              footed=protected.footed,
+                              discharge_points=())
+        assert gate_delay(protected).total > gate_delay(stripped).total
+
+    def test_footless_gate_is_faster(self):
+        footed = DominoGate.from_structure("f", series(L("a"), L("b")))
+        footless = DominoGate.from_structure(
+            "g", series(L("x", primary=False, gate=1),
+                        L("y", primary=False, gate=2)))
+        assert footed.footed and not footless.footed
+        assert gate_delay(footless).total < gate_delay(footed).total
+
+    def test_rearrangement_changes_delay_only_via_discharges(self):
+        """Reordering a series stack keeps the path topology; with equal
+        discharge counts the estimate is identical (the paper's first-
+        order assumption), and removing discharges can only speed it up."""
+        structure = series(parallel(L("a"), L("b")), L("c"))
+        gate = DominoGate.from_structure("g", structure)
+        moved = DominoGate.from_structure("m", rearrange(structure))
+        assert moved.t_disch <= gate.t_disch
+        assert gate_delay(moved).total <= gate_delay(gate).total
+
+
+class TestCircuitTiming:
+    def test_critical_path_accumulates_levels(self):
+        net = network_from_expression(
+            "((a * b + c) * d + e) * f + g", name="deep")
+        result = soi_domino_map(net, w_max=2, h_max=2)
+        timing = circuit_timing(result.circuit)
+        assert timing.critical_path > 0
+        assert timing.critical_gate in {g.name for g in result.circuit.gates}
+        # arrival times are monotone along the wiring
+        for gate in result.circuit.gates:
+            for leaf in gate.structure.leaves():
+                if not leaf.is_primary:
+                    assert (timing.arrival[leaf.signal]
+                            < timing.arrival[gate.name])
+
+    def test_fewer_discharges_never_slower(self):
+        net = network_from_expression("(a * b + c) * d + (e * f + g) * h")
+        bulk = domino_map(net)
+        soi = soi_domino_map(net)
+        assert soi.cost.t_disch <= bulk.cost.t_disch
+        assert (circuit_timing(soi.circuit).critical_path
+                <= circuit_timing(bulk.circuit).critical_path)
+
+    def test_empty_circuit(self):
+        from repro.domino import DominoCircuit
+
+        timing = circuit_timing(DominoCircuit("empty"))
+        assert timing.critical_path == 0.0

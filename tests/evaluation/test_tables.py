@@ -1,0 +1,94 @@
+"""Tests for the Tables I-IV reproduction harness (small circuit subsets)."""
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    paper_data,
+    percent,
+    render_table,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+SMALL = ["cm150", "mux", "z4ml"]
+
+
+class TestRunners:
+    def test_table1_rows_and_averages(self):
+        result = run_table1(circuits=SMALL)
+        assert len(result.rows) == 3
+        assert set(result.averages) == {"discharge reduction %",
+                                        "total reduction %"}
+        assert "Table I" in result.text
+        assert "paper" in result.text
+        for row in result.rows:
+            base_total, rs_total = row[3], row[6]
+            assert rs_total <= base_total
+
+    def test_table2_soi_beats_baseline(self):
+        result = run_table2(circuits=SMALL)
+        for row in result.rows:
+            base_disch, soi_disch = row[2], row[5]
+            assert soi_disch <= base_disch
+
+    def test_table3_columns(self):
+        result = run_table3(circuits=["z4ml", "cordic"])
+        assert len(result.rows) == 2
+        for row in result.rows:
+            t_clock_k1, t_clock_k = row[5], row[10]
+            assert t_clock_k <= t_clock_k1
+
+    def test_table4_depth_columns(self):
+        result = run_table4(circuits=SMALL)
+        for row in result.rows:
+            l0 = row[1]
+            assert l0 > 0
+            base_levels, soi_levels = row[5], row[9]
+            assert base_levels <= l0
+            assert soi_levels >= 1
+
+    def test_paper_values_attached(self):
+        result = run_table2(circuits=["cm150"])
+        paper_dtd = result.rows[0][-2]
+        expected = percent(paper_data.TABLE2["cm150"][0][1],
+                           paper_data.TABLE2["cm150"][1][1])
+        assert math.isclose(paper_dtd, expected)
+
+
+class TestPaperData:
+    def test_table_averages_consistent_with_rows(self):
+        reductions = [percent(base[1], rs[1])
+                      for base, rs in paper_data.TABLE1.values()]
+        mean = sum(reductions) / len(reductions)
+        assert abs(mean - paper_data.TABLE1_AVG[0]) < 0.5
+
+    def test_table2_averages_consistent(self):
+        reductions = [percent(base[1], soi[1])
+                      for base, soi in paper_data.TABLE2.values()]
+        mean = sum(reductions) / len(reductions)
+        # The paper's per-row percentages average to 52.07 but its stated
+        # average is 53.00 — a rounding slip in the paper itself; the
+        # transcription is verified row-by-row, so allow that slack.
+        assert abs(mean - paper_data.TABLE2_AVG[0]) < 1.0
+
+    def test_totals_are_sums(self):
+        for base, variant in paper_data.TABLE2.values():
+            assert base[0] + base[1] == base[2]
+            assert variant[0] + variant[1] == variant[2]
+
+
+class TestRendering:
+    def test_render_alignment(self):
+        text = render_table(["name", "v"], [["a", 1], ["bb", 22]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_percent_edge_cases(self):
+        assert percent(0, 0) == 0.0
+        assert percent(10, 5) == 50.0
+        assert percent(10, 12) == -20.0

@@ -1,0 +1,65 @@
+"""Tests for the DOT and SPICE-style netlist writers."""
+
+from repro.io import (
+    circuit_netlist,
+    circuit_to_dot,
+    network_to_dot,
+    write_circuit_netlist,
+)
+from repro.mapping import domino_map, soi_domino_map
+from repro.network import network_from_expression
+
+
+def test_network_dot_contains_all_nodes():
+    net = network_from_expression("a * b + !c", name="dotnet")
+    dot = network_to_dot(net)
+    assert dot.startswith('digraph "dotnet"')
+    for node in net:
+        assert f"n{node.uid}" in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_circuit_dot_mentions_gates_and_ios():
+    net = network_from_expression("(a + b) * c + d", name="dotckt")
+    circuit = soi_domino_map(net).circuit
+    dot = circuit_to_dot(circuit)
+    for gate in circuit.gates:
+        assert gate.name in dot
+    assert "PO:out" in dot
+
+
+def test_netlist_device_count_matches_accounting():
+    for expr in ["(a + b + c) * d",
+                 "(a * b + c) * (d + e * f)",
+                 "!a * b + a * !b"]:
+        net = network_from_expression(expr)
+        for flow in (domino_map, soi_domino_map):
+            result = flow(net)
+            import io as _io
+
+            buf = _io.StringIO()
+            devices = write_circuit_netlist(result.circuit, buf)
+            assert devices == result.cost.t_total
+            text = buf.getvalue()
+            assert text.count("nmos_soi") + text.count("pmos_soi") == devices
+
+
+def test_netlist_structure():
+    net = network_from_expression("(a + b) * c")
+    result = domino_map(net)
+    text = circuit_netlist(result.circuit)
+    gate = result.circuit.gates[0]
+    assert f".subckt {gate.name}" in text
+    assert f".ends {gate.name}" in text
+    assert "MPC" in text  # precharge
+    assert "MPK" in text  # keeper
+    assert "MNF" in text  # foot (primary inputs present)
+    assert text.rstrip().endswith(".end")
+
+
+def test_netlist_discharge_devices_emitted():
+    net = network_from_expression("(a * b + c) * d")
+    result = domino_map(net)
+    assert result.cost.t_disch > 0
+    text = circuit_netlist(result.circuit)
+    assert "MPD0" in text

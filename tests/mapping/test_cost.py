@@ -1,0 +1,74 @@
+"""Tests for the cost models."""
+
+import pytest
+
+from repro.domino import Leaf
+from repro.mapping import AreaCost, ClockWeightedCost, CostModel, DepthCost
+from repro.mapping.tuples import MapTuple
+
+
+def make_tuple(wcost=1.0, levels=0):
+    return MapTuple(width=1, height=1, wcost=wcost, trans=1, disch=0,
+                    levels=levels, p_dis=0, par_b=False, has_pi=True,
+                    structure=Leaf("x"))
+
+
+class TestAreaCost:
+    def test_unit_prices(self):
+        model = AreaCost()
+        assert model.leaf_cost() == 1.0
+        assert model.discharge_cost() == 1.0
+        assert model.gate_overhead_cost(footed=True) == 5.0
+        assert model.gate_overhead_cost(footed=False) == 4.0
+
+    def test_key_is_wcost(self):
+        model = AreaCost()
+        assert model.tuple_key(make_tuple(wcost=7.0)) == 7.0
+
+
+class TestClockWeightedCost:
+    def test_discharge_weighted(self):
+        model = ClockWeightedCost(2.0)
+        assert model.discharge_cost() == 2.0
+
+    def test_overhead_weighted(self):
+        model = ClockWeightedCost(2.0)
+        # inverter(2) + keeper(1) + k * (p-clock [+ n-clock])
+        assert model.gate_overhead_cost(footed=False) == 3 + 2
+        assert model.gate_overhead_cost(footed=True) == 3 + 4
+
+    def test_k1_matches_area(self):
+        assert (ClockWeightedCost(1.0).gate_overhead_cost(True)
+                == AreaCost().gate_overhead_cost(True))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            ClockWeightedCost(0)
+        with pytest.raises(ValueError):
+            CostModel(k_clock=-1)
+
+
+class TestDepthCost:
+    def test_levels_dominate(self):
+        model = DepthCost(level_weight=10.0)
+        shallow = make_tuple(wcost=9.0, levels=1)
+        deep = make_tuple(wcost=1.0, levels=2)
+        assert model.tuple_key(shallow) < model.tuple_key(deep)
+
+    def test_transistors_break_level_ties(self):
+        model = DepthCost(level_weight=10.0)
+        a = make_tuple(wcost=3.0, levels=2)
+        b = make_tuple(wcost=5.0, levels=2)
+        assert model.tuple_key(a) < model.tuple_key(b)
+
+    def test_gate_key_consistent(self):
+        model = DepthCost(level_weight=10.0)
+        assert model.gate_key(4.0, 2) == 24.0
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DepthCost(level_weight=0)
+
+    def test_repr_mentions_parameters(self):
+        assert "level_weight" in repr(DepthCost())
+        assert "k_clock" in repr(ClockWeightedCost(2.0))

@@ -1,0 +1,151 @@
+"""Engine-level tests: configuration, limits, bookkeeping invariants."""
+
+import pytest
+
+from repro.domino import analyse
+from repro.errors import MappingError
+from repro.mapping import CostModel, MapperConfig, MappingEngine, map_network
+from repro.network import LogicNetwork, network_from_expression
+from repro.synth import decompose, sweep, unate_with_sweep
+
+from ..conftest import make_random_network
+
+
+def _unate(seed=0, **kwargs):
+    net = make_random_network(seed, **kwargs)
+    unate, _ = unate_with_sweep(sweep(decompose(net)))
+    return unate
+
+
+class TestConfig:
+    def test_bad_limits_rejected(self):
+        with pytest.raises(MappingError):
+            MapperConfig(w_max=0)
+        with pytest.raises(MappingError):
+            MapperConfig(h_max=1)
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(MappingError):
+            MapperConfig(ordering="wat")
+
+    def test_bad_ground_policy_rejected(self):
+        with pytest.raises(MappingError):
+            MapperConfig(ground_policy="sometimes")
+
+    def test_non_mappable_network_rejected(self):
+        net = network_from_expression("!a")
+        with pytest.raises(MappingError, match="not mappable"):
+            MappingEngine(net, CostModel())
+
+
+class TestLimits:
+    @pytest.mark.parametrize("w_max,h_max", [(2, 2), (3, 4), (5, 8)])
+    def test_gate_limits_respected(self, w_max, h_max):
+        unate = _unate(1)
+        config = MapperConfig(w_max=w_max, h_max=h_max)
+        result = MappingEngine(unate, CostModel(), config).run()
+        for gate in result.circuit.gates:
+            assert gate.width <= w_max
+            assert gate.height <= h_max
+
+    def test_tighter_limits_never_cheaper(self):
+        unate = _unate(2)
+        loose = MappingEngine(unate, CostModel(),
+                              MapperConfig(w_max=5, h_max=8)).run()
+        tight = MappingEngine(unate, CostModel(),
+                              MapperConfig(w_max=2, h_max=2)).run()
+        assert tight.cost.t_total >= loose.cost.t_total
+        assert tight.cost.num_gates >= loose.cost.num_gates
+
+
+class TestBookkeeping:
+    def test_dp_discharge_matches_structural_analysis(self):
+        """The engine's committed-discharge count per gate must equal what
+        the independent structural analysis demands."""
+        unate = _unate(3, n_gates=40)
+        config = MapperConfig(pbe_aware=True)
+        result = MappingEngine(unate, CostModel(), config).run()
+        for gate in result.circuit.gates:
+            expected = analyse(gate.structure).required(True)
+            assert set(gate.discharge_points) == set(expected)
+
+    def test_levels_match_wiring(self):
+        unate = _unate(4, n_gates=40)
+        result = MappingEngine(unate, CostModel(), MapperConfig()).run()
+        by_name = {g.name: g for g in result.circuit.gates}
+        for gate in result.circuit.gates:
+            driver_levels = [by_name[leaf.signal].level
+                             for leaf in gate.structure.leaves()
+                             if not leaf.is_primary]
+            assert gate.level == max(driver_levels, default=0) + 1
+
+    def test_circuit_validates(self):
+        unate = _unate(5, n_gates=40)
+        result = MappingEngine(unate, CostModel(), MapperConfig()).run()
+        result.circuit.validate(w_max=5, h_max=8)
+
+    def test_footedness_follows_primary_leaves(self):
+        unate = _unate(6, n_gates=40)
+        result = MappingEngine(unate, CostModel(), MapperConfig()).run()
+        for gate in result.circuit.gates:
+            assert gate.footed == any(leaf.is_primary
+                                      for leaf in gate.structure.leaves())
+
+    def test_tuples_created_counted(self):
+        unate = _unate(7)
+        engine = MappingEngine(unate, CostModel(), MapperConfig())
+        result = engine.run()
+        assert result.tuples_created > 0
+
+
+class TestModes:
+    def test_duplication_off_forces_boundaries(self):
+        unate = _unate(8, n_gates=40)
+        dup = MappingEngine(unate, CostModel(),
+                            MapperConfig(duplication=True)).run()
+        nodup = MappingEngine(unate, CostModel(),
+                              MapperConfig(duplication=False)).run()
+        # Without duplication every multi-fanout node is a gate: at least
+        # as many gates as the duplicating mapper uses.
+        assert nodup.cost.num_gates >= dup.cost.num_gates
+
+    def test_pessimistic_never_fewer_discharges(self):
+        unate = _unate(9, n_gates=40)
+        opt = MappingEngine(unate, CostModel(),
+                            MapperConfig(ground_policy="optimistic")).run()
+        pes = MappingEngine(unate, CostModel(),
+                            MapperConfig(ground_policy="pessimistic")).run()
+        assert pes.cost.t_disch >= opt.cost.t_disch
+
+    def test_pbe_aware_never_more_discharges_than_baseline(self):
+        for seed in range(5):
+            unate = _unate(seed, n_gates=40)
+            base = MappingEngine(unate, CostModel(),
+                                 MapperConfig(pbe_aware=False,
+                                              ordering="adverse")).run()
+            soi = MappingEngine(unate, CostModel(),
+                                MapperConfig(pbe_aware=True)).run()
+            assert soi.cost.t_disch <= base.cost.t_disch
+
+    def test_map_network_wrapper(self):
+        unate = _unate(10)
+        result = map_network(unate)
+        assert result.cost.t_total > 0
+
+    def test_po_driven_by_pi_is_a_wire(self):
+        net = LogicNetwork("wire")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po(net.add_and(a, b), "f")
+        net.add_po(a, "g")
+        result = map_network(net)
+        assert result.circuit.outputs["g"] == "a"
+
+    def test_const_po_recorded(self):
+        net = LogicNetwork("constpo")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po(net.add_and(a, b), "f")
+        net.add_po(net.add_const(True), "t")
+        result = map_network(net)
+        assert result.circuit.const_outputs == {"t": True}

@@ -1,0 +1,104 @@
+"""End-to-end flow tests: functional equivalence and paper-shape checks."""
+
+import pytest
+
+from repro.mapping import (
+    ClockWeightedCost,
+    DepthCost,
+    domino_map,
+    prepare_network,
+    rs_map,
+    soi_domino_map,
+)
+from repro.network import network_from_expression
+from repro.sim import check_circuit_against_network
+
+from ..conftest import make_random_network
+
+FLOWS = [domino_map, rs_map, soi_domino_map]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("flow", FLOWS)
+    @pytest.mark.parametrize("expr", [
+        "(A + B + C) * D",
+        "!a * b + a * !b",
+        "!(a * b + c * (d + !e))",
+        "(a + b)(c + d)(e + f)(g + h)",
+    ])
+    def test_expression_circuits_equivalent(self, flow, expr):
+        net = network_from_expression(expr)
+        circuit = flow(net).circuit
+        assert check_circuit_against_network(circuit, net) is None
+
+    @pytest.mark.parametrize("flow", FLOWS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_equivalent(self, flow, seed):
+        net = make_random_network(seed, n_gates=35)
+        circuit = flow(net).circuit
+        assert check_circuit_against_network(circuit, net,
+                                             vectors=256) is None
+
+
+class TestPaperShape:
+    """The relationships the paper's evaluation establishes."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rs_never_worse_than_baseline(self, seed):
+        net = make_random_network(seed, n_gates=40)
+        base = domino_map(net).cost
+        rs = rs_map(net).cost
+        assert rs.t_disch <= base.t_disch
+        assert rs.t_logic == base.t_logic  # rearrangement only
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_soi_never_more_discharges_than_baseline(self, seed):
+        net = make_random_network(seed, n_gates=40)
+        base = domino_map(net).cost
+        soi = soi_domino_map(net).cost
+        assert soi.t_disch <= base.t_disch
+        assert soi.t_total <= base.t_total
+
+    def test_fig2a_example_end_to_end(self):
+        net = network_from_expression("(A + B + C) * D")
+        base = domino_map(net)
+        soi = soi_domino_map(net)
+        assert base.cost.t_disch == 1   # node 1 needs a p-discharge
+        assert soi.cost.t_disch == 0    # stack reordered to ground
+        gate = soi.circuit.gates[0]
+        assert gate.structure.ends_in_parallel
+
+    def test_depth_cost_reduces_levels(self):
+        net = make_random_network(12, n_gates=60)
+        area = soi_domino_map(net).cost
+        depth = soi_domino_map(net, cost_model=DepthCost()).cost
+        assert depth.levels <= area.levels
+
+    def test_clock_weighting_reduces_clock_transistors(self):
+        nets = [make_random_network(s, n_gates=60) for s in range(6)]
+        k1 = sum(soi_domino_map(n, cost_model=ClockWeightedCost(1.0))
+                 .cost.t_clock for n in nets)
+        k2 = sum(soi_domino_map(n, cost_model=ClockWeightedCost(2.0))
+                 .cost.t_clock for n in nets)
+        assert k2 <= k1
+
+
+class TestPrepare:
+    def test_prepare_is_idempotent_for_mappable(self):
+        net = network_from_expression("a * b + c * d")
+        assert net.is_mappable()
+        unate, report = prepare_network(net)
+        assert unate is net
+        assert report is None
+
+    def test_prepare_produces_mappable(self):
+        net = make_random_network(1)
+        unate, report = prepare_network(net)
+        assert unate.is_mappable()
+        assert report is not None
+
+    def test_unate_report_propagated(self):
+        net = network_from_expression("!(a * b)")
+        result = soi_domino_map(net)
+        assert result.unate_report is not None
+        assert result.unate_report.negated_pis == 2

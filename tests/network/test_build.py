@@ -1,0 +1,72 @@
+"""Tests for the boolean-expression network builder."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.network import network_from_expression, network_from_expressions
+from repro.sim import evaluate_by_name, truth_table
+
+
+class TestParsing:
+    def test_simple_and_or(self):
+        net = network_from_expression("a * b + c")
+        assert len(net.pis) == 3
+        assert len(net.pos) == 1
+
+    def test_implicit_and_by_adjacency(self):
+        explicit = network_from_expression("a * (b + c)")
+        implicit = network_from_expression("a(b + c)")
+        assert truth_table(explicit) == truth_table(implicit)
+
+    def test_negation(self):
+        net = network_from_expression("!a")
+        out = evaluate_by_name(net, {"a": False})
+        assert out["out"] is True
+
+    def test_constants(self):
+        net = network_from_expression("a * 1 + 0")
+        table = truth_table(net)
+        ident = truth_table(network_from_expression("a"))
+        assert table == ident
+
+    def test_shared_inputs_across_outputs(self):
+        net = network_from_expressions({"x": "a + b", "y": "a * b"})
+        assert len(net.pis) == 2
+        assert len(net.pos) == 2
+
+    def test_nested_parentheses(self):
+        net = network_from_expression("((a + b) * (c + d)) + !(a * d)")
+        assert len(net.pis) == 4
+        net.validate()
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(ParseError):
+            network_from_expression("(a + b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            network_from_expression("a + b )")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            network_from_expression("a & b")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("expr,assignment,expected", [
+        ("(A + B + C) * D", dict(A=1, B=0, C=0, D=1), True),
+        ("(A + B + C) * D", dict(A=1, B=0, C=0, D=0), False),
+        ("(A + B + C) * D", dict(A=0, B=0, C=0, D=1), False),
+        ("!a * !b", dict(a=0, b=0), True),
+        ("!(a + b)", dict(a=0, b=0), True),
+        ("!(a + b)", dict(a=1, b=0), False),
+    ])
+    def test_evaluation(self, expr, assignment, expected):
+        net = network_from_expression(expr)
+        values = {k: bool(v) for k, v in assignment.items()}
+        assert evaluate_by_name(net, values)["out"] is expected
+
+    def test_demorgan_equivalence(self):
+        lhs = network_from_expression("!(a * b)")
+        rhs = network_from_expression("!a + !b")
+        assert truth_table(lhs) == truth_table(rhs)

@@ -1,0 +1,75 @@
+"""Unit tests for node types and LogicNode."""
+
+import pytest
+
+from repro.network.nodes import LogicNode, NodeType
+
+
+class TestNodeType:
+    def test_sources_have_no_fanins(self):
+        assert NodeType.PI.is_source
+        assert NodeType.CONST0.is_source
+        assert NodeType.CONST1.is_source
+        assert not NodeType.AND.is_source
+
+    def test_gate_classification(self):
+        for t in (NodeType.AND, NodeType.OR, NodeType.NAND, NodeType.NOR,
+                  NodeType.XOR, NodeType.XNOR, NodeType.INV, NodeType.BUF):
+            assert t.is_gate
+        for t in (NodeType.PI, NodeType.PO, NodeType.CONST0):
+            assert not t.is_gate
+
+    def test_monotone_gates(self):
+        assert NodeType.AND.is_monotone
+        assert NodeType.OR.is_monotone
+        assert not NodeType.NAND.is_monotone
+        assert not NodeType.INV.is_monotone
+
+    def test_demorgan_duals(self):
+        assert NodeType.AND.dual is NodeType.OR
+        assert NodeType.OR.dual is NodeType.AND
+        assert NodeType.NAND.dual is NodeType.NOR
+        assert NodeType.CONST0.dual is NodeType.CONST1
+
+    def test_dual_undefined_for_xor(self):
+        with pytest.raises(ValueError):
+            NodeType.XOR.dual
+
+
+class TestLogicNode:
+    def test_fanin_count_checked(self):
+        with pytest.raises(ValueError):
+            LogicNode(0, NodeType.PI, (1,))
+        with pytest.raises(ValueError):
+            LogicNode(0, NodeType.INV, (1, 2))
+        with pytest.raises(ValueError):
+            LogicNode(0, NodeType.AND, ())
+
+    def test_label_falls_back_to_uid(self):
+        assert LogicNode(7, NodeType.PI).label == "n7"
+        assert LogicNode(7, NodeType.PI, name="x").label == "x"
+
+    @pytest.mark.parametrize("node_type,values,expected", [
+        (NodeType.AND, (True, True), True),
+        (NodeType.AND, (True, False), False),
+        (NodeType.OR, (False, False), False),
+        (NodeType.OR, (False, True), True),
+        (NodeType.NAND, (True, True), False),
+        (NodeType.NOR, (False, False), True),
+        (NodeType.XOR, (True, False), True),
+        (NodeType.XOR, (True, True), False),
+        (NodeType.XNOR, (True, True), True),
+        (NodeType.INV, (True,), False),
+        (NodeType.BUF, (False,), False),
+    ])
+    def test_evaluate(self, node_type, values, expected):
+        node = LogicNode(0, node_type, tuple(range(len(values))))
+        assert node.evaluate(list(values)) is expected
+
+    def test_evaluate_wide_gates(self):
+        and4 = LogicNode(0, NodeType.AND, (1, 2, 3, 4))
+        assert and4.evaluate([True] * 4)
+        assert not and4.evaluate([True, True, False, True])
+        xor3 = LogicNode(0, NodeType.XOR, (1, 2, 3))
+        assert xor3.evaluate([True, True, True])
+        assert not xor3.evaluate([True, True, False])

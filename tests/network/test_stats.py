@@ -1,0 +1,45 @@
+"""Tests for network statistics."""
+
+from repro.network import (
+    fanout_histogram,
+    level_map,
+    network_from_expression,
+    network_stats,
+)
+
+
+def test_basic_stats():
+    net = network_from_expression("(a + b) * !c", name="t")
+    stats = network_stats(net)
+    assert stats.name == "t"
+    assert stats.num_pis == 3
+    assert stats.num_pos == 1
+    assert stats.num_and == 1
+    assert stats.num_or == 1
+    assert stats.num_inv == 1
+    assert stats.depth == 2
+    assert "t:" in str(stats)
+
+
+def test_as_dict_roundtrip():
+    net = network_from_expression("a * b")
+    d = network_stats(net).as_dict()
+    assert d["pis"] == 2
+    assert d["gates"] == 1
+
+
+def test_fanout_histogram():
+    net = network_from_expression("a * a + a")
+    hist = fanout_histogram(net)
+    # 'a' has fanout 3 (used thrice), gates have fanout 1 each
+    assert hist[3] == 1
+    assert hist[1] == 2
+
+
+def test_level_map_monotone():
+    net = network_from_expression("(a + b) * (c + d) * e")
+    levels = level_map(net)
+    for node in net:
+        for fanin in node.fanins:
+            assert levels[fanin] <= levels[node.uid]
+    assert max(levels.values()) == net.depth()

@@ -1,0 +1,61 @@
+"""Tests for the body-voltage hysteresis metric (paper section I claim)."""
+
+from repro.bench_suite import load_circuit
+from repro.domino import DominoCircuit, DominoGate
+from repro.mapping import domino_map, soi_domino_map
+from repro.network import network_from_expression
+from repro.pbe import measure_hysteresis
+
+
+def _strip_discharges(circuit: DominoCircuit) -> DominoCircuit:
+    stripped = DominoCircuit(circuit.name + "_bare")
+    for name in circuit.inputs:
+        stripped.add_input(name)
+    for gate in circuit.gates:
+        stripped.add_gate(DominoGate(name=gate.name, structure=gate.structure,
+                                     footed=gate.footed,
+                                     discharge_points=(), level=gate.level))
+    for po, sig in circuit.outputs.items():
+        stripped.connect_output(po, sig)
+    return stripped
+
+
+def test_protection_reduces_charged_phases():
+    """The paper's claim: controlling the PBE narrows body-voltage
+    excursions.  A bulk-mapped circuit with its discharge transistors
+    must show fewer charged device-phases than the same circuit without
+    them, on the identical workload."""
+    net = network_from_expression("(a * b + c) * d + (e * f + g) * h")
+    circuit = domino_map(net).circuit
+    assert circuit.cost().t_disch > 0
+    protected = measure_hysteresis(circuit, cycles=250, seed=2)
+    bare = measure_hysteresis(_strip_discharges(circuit), cycles=250, seed=2)
+    assert protected.charged_phases < bare.charged_phases
+    assert protected.charged_fraction < bare.charged_fraction
+
+
+def test_soi_mapping_reduces_hysteresis_vs_unprotected():
+    net = load_circuit("mux")
+    soi = soi_domino_map(net).circuit
+    bare = _strip_discharges(domino_map(net).circuit)
+    r_soi = measure_hysteresis(soi, cycles=200, seed=4)
+    r_bare = measure_hysteresis(bare, cycles=200, seed=4)
+    assert r_soi.charged_fraction <= r_bare.charged_fraction
+
+
+def test_report_shape():
+    net = network_from_expression("(a + b) * c")
+    report = measure_hysteresis(soi_domino_map(net).circuit, cycles=50)
+    assert report.cycles == 50
+    assert report.devices > 0
+    assert 0.0 <= report.charged_fraction <= 1.0
+    assert report.worst_device_phases <= report.charged_phases
+    assert "devices over" in str(report)
+
+
+def test_deterministic():
+    net = network_from_expression("(a * b + c) * d")
+    circuit = domino_map(net).circuit
+    a = measure_hysteresis(circuit, cycles=100, seed=7)
+    b = measure_hysteresis(circuit, cycles=100, seed=7)
+    assert (a.charged_phases, a.excursions) == (b.charged_phases, b.excursions)

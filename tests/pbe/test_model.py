@@ -1,0 +1,71 @@
+"""Tests for the floating-body device model."""
+
+import pytest
+
+from repro.pbe import BodyState, PBEModelConfig
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PBEModelConfig(charge_phases=0)
+    with pytest.raises(ValueError):
+        PBEModelConfig(decay_phases=0)
+    with pytest.raises(ValueError):
+        PBEModelConfig(retain_phases=0)
+
+
+def test_body_charges_after_threshold():
+    config = PBEModelConfig(charge_phases=3)
+    body = BodyState()
+    for _ in range(2):
+        body.update(device_on=False, upper_high=True, lower_high=True,
+                    config=config)
+        assert not body.high
+    body.update(device_on=False, upper_high=True, lower_high=True,
+                config=config)
+    assert body.high
+
+
+def test_conduction_resets_body():
+    config = PBEModelConfig(charge_phases=1)
+    body = BodyState()
+    body.update(False, True, True, config)
+    assert body.high
+    body.update(True, True, True, config)
+    assert not body.high
+    assert body.charge == 0
+
+
+def test_grounded_source_decays_body():
+    config = PBEModelConfig(charge_phases=1, decay_phases=2)
+    body = BodyState()
+    body.update(False, True, True, config)
+    assert body.high
+    body.update(False, True, False, config)
+    assert body.high  # one phase is not enough
+    body.update(False, True, False, config)
+    assert not body.high
+
+
+def test_either_terminal_low_decays():
+    """Both body junctions leak: a low drain drains the body just like a
+    low source (without this, alternating vectors could pump the body up
+    past any threshold)."""
+    config = PBEModelConfig(charge_phases=1, decay_phases=2)
+    body = BodyState()
+    body.update(False, True, True, config)
+    assert body.high
+    body.update(False, False, True, config)  # drain low: decay 1
+    assert body.high
+    body.update(False, False, True, config)  # decay 2: reset
+    assert not body.high
+
+
+def test_decay_counter_resets_on_recharge():
+    config = PBEModelConfig(charge_phases=1, decay_phases=2)
+    body = BodyState()
+    body.update(False, True, True, config)
+    body.update(False, True, False, config)   # decay 1
+    body.update(False, True, True, config)    # recharge resets decay
+    body.update(False, True, False, config)   # decay 1 again
+    assert body.high

@@ -1,0 +1,66 @@
+"""Tests for gate flattening into electrical nodes."""
+
+import pytest
+
+from repro.domino import DominoGate, Leaf, parallel, series
+from repro.pbe import FOOT, GND, TOP, flatten_gate
+
+
+def L(name, primary=True, gate=None):
+    return Leaf(name, is_primary=primary, source_gate=gate)
+
+
+def test_simple_series_nodes():
+    gate = DominoGate.from_structure("g", series(L("a"), L("b"), L("c")))
+    flat = flatten_gate(gate)
+    assert len(flat.transistors) == 3
+    assert len(flat.internal_nodes) == 2
+    assert flat.bottom == FOOT  # primary inputs -> footed
+    # chain connectivity: top -> n1 -> n2 -> foot
+    uppers = [t.upper for t in flat.transistors]
+    lowers = [t.lower for t in flat.transistors]
+    assert uppers[0] == TOP
+    assert lowers[-1] == FOOT
+    assert lowers[0] == uppers[1]
+    assert lowers[1] == uppers[2]
+
+
+def test_footless_bottom_is_ground():
+    structure = series(L("g1", primary=False, gate=1),
+                       L("g2", primary=False, gate=2))
+    flat = flatten_gate(DominoGate.from_structure("g", structure))
+    assert flat.bottom == GND
+
+
+def test_parallel_shares_nodes():
+    gate = DominoGate.from_structure("g", parallel(L("a"), L("b"), L("c")))
+    flat = flatten_gate(gate)
+    assert len(flat.internal_nodes) == 0
+    for t in flat.transistors:
+        assert t.upper == TOP
+        assert t.lower == FOOT
+
+
+def test_junction_map_matches_analysis_points():
+    structure = series(parallel(series(L("a"), L("b")), L("c")), L("d"))
+    gate = DominoGate.from_structure("g", structure)
+    flat = flatten_gate(gate)
+    # every discharge point resolved to a node
+    assert len(flat.discharge_nodes) == gate.t_disch == 2
+    for node in flat.discharge_nodes:
+        assert node in flat.internal_nodes
+
+
+def test_bogus_discharge_point_rejected():
+    gate = DominoGate.from_structure("g", series(L("a"), L("b")))
+    gate.discharge_points = (((), 5),)
+    with pytest.raises(ValueError, match="discharge point"):
+        flatten_gate(gate)
+
+
+def test_transistor_count_matches_structure():
+    structure = series(parallel(L("a"), series(L("b"), L("c"))),
+                       parallel(L("d"), L("e")))
+    gate = DominoGate.from_structure("g", structure)
+    flat = flatten_gate(gate)
+    assert len(flat.transistors) == structure.num_transistors

@@ -1,0 +1,91 @@
+"""The paper's section III-B failure scenario, reproduced in simulation.
+
+Steady state A=1, B=C=D=0 charges the bodies of B and C (their source —
+the internal stack node — and drain — the dynamic node — are both high).
+A then switches low; when D evaluates, the stack node is yanked low and
+the parasitic bipolar devices of B and C dump the dynamic node: the gate
+outputs 1 where it should output 0.  A p-discharge transistor at the
+stack node, or the SOI reordering that grounds the stack, prevents it.
+"""
+
+import pytest
+
+from repro.domino import DominoCircuit, DominoGate, Leaf, parallel, series
+from repro.pbe import PBEModelConfig, PBESimulator
+
+
+def build_circuit(structure, with_discharge: bool) -> DominoCircuit:
+    gate = DominoGate.from_structure("g1", structure, grounded=True)
+    if not with_discharge:
+        gate = DominoGate(name="g1", structure=structure, footed=gate.footed,
+                          discharge_points=(), level=1)
+    circuit = DominoCircuit("fig2a")
+    for name in "ABCD":
+        circuit.add_input(name)
+    circuit.add_gate(gate)
+    circuit.connect_output("out", "g1")
+    return circuit
+
+
+BULK = series(parallel(Leaf("A"), Leaf("B"), Leaf("C")), Leaf("D"))
+SOI = series(Leaf("D"), parallel(Leaf("A"), Leaf("B"), Leaf("C")))
+
+SCENARIO = ([dict(A=True, B=False, C=False, D=False)] * 5
+            + [dict(A=False, B=False, C=False, D=True)] * 2)
+
+
+def _run(circuit, **config):
+    sim = PBESimulator(circuit, config=PBEModelConfig(**config),
+                       derive_complements=False)
+    return sim.run(iter(SCENARIO), keep_history=True)
+
+
+def test_unprotected_bulk_structure_misfires():
+    report = _run(build_circuit(BULK, with_discharge=False))
+    assert not report.pbe_free
+    assert report.misfires >= 1
+    assert report.first_error_cycle == 5
+    bad = report.history[5]
+    assert bad.outputs["out"] is True
+    assert bad.expected["out"] is False
+    # both B and C fire, as the paper describes
+    assert sorted(e.signal for e in bad.misfires) == ["B", "C"]
+
+
+def test_discharge_transistor_prevents_misfire():
+    report = _run(build_circuit(BULK, with_discharge=True))
+    assert report.pbe_free
+    assert report.misfires == 0
+
+
+def test_soi_reordering_prevents_misfire():
+    # The reordered structure needs no discharge transistors at all.
+    gate = DominoGate.from_structure("probe", SOI, grounded=True)
+    assert gate.t_disch == 0
+    report = _run(build_circuit(SOI, with_discharge=True))
+    assert report.pbe_free
+
+
+def test_event_recorded_without_injection():
+    report = _run(build_circuit(BULK, with_discharge=False),
+                  inject_errors=False)
+    assert report.misfires >= 1       # the bipolar still fires...
+    assert report.error_cycles == 0   # ...but outputs stay correct
+
+
+def test_slow_body_charging_never_fires():
+    # With a charge threshold longer than the steady period, no misfire.
+    report = _run(build_circuit(BULK, with_discharge=False),
+                  charge_phases=50)
+    assert report.pbe_free
+
+
+def test_reset_clears_state():
+    circuit = build_circuit(BULK, with_discharge=False)
+    sim = PBESimulator(circuit, derive_complements=False)
+    first = sim.run(iter(SCENARIO))
+    assert first.misfires >= 1
+    sim.reset()
+    assert sim.cycle == 0
+    second = sim.run(iter(SCENARIO))
+    assert second.misfires == first.misfires

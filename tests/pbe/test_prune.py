@@ -1,0 +1,127 @@
+"""Tests for input-aware discharge pruning (paper section VII extension)."""
+
+import pytest
+
+from repro.bench_suite import load_circuit, mux_two_level
+from repro.domino import DominoCircuit, DominoGate, Leaf, parallel, series
+from repro.mapping import domino_map, soi_domino_map
+from repro.network import network_from_expression
+from repro.pbe import PBESimulator, prune_discharges, prune_gate, random_stress
+
+
+def _single_gate_circuit(structure):
+    gate = DominoGate.from_structure("g1", structure)
+    circuit = DominoCircuit("t")
+    for leaf in structure.leaves():
+        circuit.add_input(leaf.signal)
+    circuit.add_gate(gate)
+    circuit.connect_output("out", "g1")
+    return circuit, gate
+
+
+class TestGatePruning:
+    def test_fig2a_point_is_kept(self):
+        """(A+B+C) over D: independent inputs can arm the PBE, so the
+        discharge transistor must be kept."""
+        structure = series(parallel(Leaf("A"), Leaf("B"), Leaf("C")),
+                           Leaf("D"))
+        _, gate = _single_gate_circuit(structure)
+        keep, skipped = prune_gate(gate)
+        assert not skipped
+        assert len(keep) == gate.t_disch == 1
+
+    def test_mutually_exclusive_phases_pruned(self):
+        """Branches gated by x and x_bar: arming a branch junction needs
+        the same variable both on and off, so those points prune away."""
+        structure = series(
+            parallel(series(Leaf("x"), Leaf("x")),
+                     series(Leaf("x_bar"), Leaf("x_bar"))),
+            Leaf("y"))
+        _, gate = _single_gate_circuit(structure)
+        assert gate.t_disch == 3
+        keep, _ = prune_gate(gate)
+        assert len(keep) < gate.t_disch
+
+    def test_pruning_never_adds_points(self):
+        for expr in ("(a * b + c) * d", "(a + b)(c + d) * e",
+                     "(s * a + s * b) * c"):
+            net = network_from_expression(expr)
+            circuit = domino_map(net).circuit
+            for gate in circuit.gates:
+                keep, _ = prune_gate(gate)
+                assert set(keep) <= set(gate.discharge_points)
+
+    def test_oversized_gate_skipped(self):
+        structure = series(
+            parallel(*[series(Leaf(f"a{i}"), Leaf(f"b{i}"))
+                       for i in range(2)]),
+            Leaf("z"))
+        _, gate = _single_gate_circuit(structure)
+        keep, skipped = prune_gate(gate, max_signals=2)
+        assert skipped
+        assert keep == tuple(gate.discharge_points)
+
+    def test_no_points_is_trivial(self):
+        _, gate = _single_gate_circuit(series(Leaf("a"),
+                                              parallel(Leaf("b"), Leaf("c"))))
+        assert gate.t_disch == 0
+        assert prune_gate(gate) == ((), False)
+
+
+class TestCircuitPruning:
+    def test_selector_circuits_prune_substantially(self):
+        circuit = domino_map(mux_two_level(4, 2, name="cm150")).circuit
+        pruned, report = prune_discharges(circuit)
+        assert report.removed > 0
+        assert report.points_after < report.points_before
+
+    @pytest.mark.parametrize("name", ["mux", "cm150", "9symml", "b9"])
+    def test_pruned_circuit_survives_stress(self, name):
+        circuit = domino_map(load_circuit(name)).circuit
+        pruned, report = prune_discharges(circuit)
+        for seed in (5, 11):
+            stress = random_stress(pruned, cycles=200, seed=seed)
+            assert stress.pbe_free, f"{name} seed {seed}: {stress}"
+
+    def test_pruned_circuit_still_functional(self):
+        net = network_from_expression("(a * b + c) * d + e", name="f")
+        circuit = soi_domino_map(net).circuit
+        pruned, _ = prune_discharges(circuit)
+        from repro.sim import check_circuit_against_network
+
+        assert check_circuit_against_network(pruned, net) is None
+
+    def test_fig2a_never_pruned(self):
+        net = network_from_expression("(A + B + C) * D")
+        circuit = domino_map(net).circuit
+        pruned, report = prune_discharges(circuit)
+        assert report.points_before == report.points_after == 1
+        sim = PBESimulator(pruned)
+        seq = [dict(A=True, B=False, C=False, D=False)] * 5 \
+            + [dict(A=False, B=False, C=False, D=True)] * 2
+        assert sim.run(iter(seq)).pbe_free
+
+    def test_report_totals_consistent(self):
+        circuit = domino_map(load_circuit("b9")).circuit
+        pruned, report = prune_discharges(circuit)
+        assert report.points_after == pruned.cost().t_disch
+        assert report.points_before == circuit.cost().t_disch
+        assert sum(b for b, _ in report.per_gate.values()) == \
+            report.points_before
+        assert "pruned" in str(report)
+
+    def test_interface_preserved(self):
+        circuit = domino_map(load_circuit("z4ml")).circuit
+        pruned, _ = prune_discharges(circuit)
+        assert pruned.inputs == circuit.inputs
+        assert pruned.outputs == circuit.outputs
+        assert len(pruned.gates) == len(circuit.gates)
+
+    def test_transitive_protection_respected(self):
+        """Removing a junction's transistor can expose the foot node of a
+        footed gate; the greedy pass must refuse such removals (this is
+        the regression the two-phase model exists for)."""
+        circuit = domino_map(load_circuit("9symml")).circuit
+        pruned, report = prune_discharges(circuit)
+        stress = random_stress(pruned, cycles=250, seed=11)
+        assert stress.pbe_free, str(stress)

@@ -1,0 +1,64 @@
+"""Tests for equivalence checking between networks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import network_from_expression
+from repro.sim import (
+    assert_equivalent,
+    equivalent_exhaustive,
+    equivalent_random,
+    find_mismatch_random,
+)
+
+
+def test_equivalent_forms():
+    a = network_from_expression("a * (b + c)")
+    b = network_from_expression("a * b + a * c")
+    assert equivalent_exhaustive(a, b)
+    assert equivalent_random(a, b, vectors=128)
+    assert_equivalent(a, b)
+
+
+def test_inequivalent_detected():
+    a = network_from_expression("a * b")
+    b = network_from_expression("a + b")
+    assert not equivalent_exhaustive(a, b)
+    mismatch = find_mismatch_random(a, b, vectors=256)
+    assert mismatch is not None
+    assert mismatch.po_name == "out"
+    # the counterexample must actually distinguish them
+    assert mismatch.expected != mismatch.actual
+    assert "out" in str(mismatch)
+
+
+def test_assert_equivalent_raises_with_counterexample():
+    a = network_from_expression("a * b * c")
+    b = network_from_expression("a * b * (c + !c)")  # = a * b, same PIs
+    with pytest.raises(SimulationError, match="networks differ"):
+        assert_equivalent(a, b)
+
+
+def test_interface_mismatch_rejected():
+    a = network_from_expression("a * b")
+    b = network_from_expression("a * c")
+    with pytest.raises(SimulationError, match="PI name mismatch"):
+        equivalent_exhaustive(a, b)
+
+
+def test_po_mismatch_rejected():
+    from repro.network import network_from_expressions
+
+    a = network_from_expressions({"x": "a * b"})
+    b = network_from_expressions({"y": "a * b"})
+    with pytest.raises(SimulationError, match="PO name mismatch"):
+        equivalent_random(a, b)
+
+
+def test_subtle_inequivalence_found_exhaustively():
+    # differs only on the all-ones pattern
+    a = network_from_expression("a * b * c * d")
+    b = network_from_expression("a * b * c * d * (a + !b)")
+    assert equivalent_exhaustive(a, b)  # actually equal: a=1 makes a+!b true
+    c = network_from_expression("a * b * c * !d")
+    assert not equivalent_exhaustive(a, c)

@@ -1,0 +1,94 @@
+"""Tests for the bit-parallel logic simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import LogicNetwork, NodeType, network_from_expression
+from repro.sim import (
+    evaluate,
+    evaluate_by_name,
+    evaluate_vectors,
+    exhaustive_vectors,
+    random_vectors,
+    truth_table,
+)
+
+
+def test_single_pattern():
+    net = network_from_expression("a * b + !c")
+    values = evaluate_by_name(net, {"a": True, "b": True, "c": True})
+    assert values["out"] is True
+    values = evaluate_by_name(net, {"a": False, "b": True, "c": True})
+    assert values["out"] is False
+
+
+def test_missing_stimulus_raises():
+    net = network_from_expression("a * b")
+    with pytest.raises(SimulationError):
+        evaluate_by_name(net, {"a": True})
+
+
+def test_vector_packing_matches_scalar():
+    net = network_from_expression("(a + b) * (!a + c)")
+    by_name = {net.node(u).label: u for u in net.pis}
+    width = 16
+    words = {by_name["a"]: 0xAAAA, by_name["b"]: 0x0F0F, by_name["c"]: 0x33CC}
+    packed = evaluate_vectors(net, words, width)
+    for bit in range(width):
+        single = evaluate(net, {u: bool((w >> bit) & 1)
+                                for u, w in words.items()})
+        for po in net.pos:
+            assert bool((packed[po] >> bit) & 1) == single[po]
+
+
+def test_all_gate_types_packed():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    for t in (NodeType.AND, NodeType.OR, NodeType.NAND, NodeType.NOR,
+              NodeType.XOR, NodeType.XNOR):
+        net.add_po(net.add_gate(t, (a, b)), t.value)
+    net.add_po(net.add_inv(a), "inv")
+    net.add_po(net.add_buf(b), "buf")
+    table = truth_table(net)
+    # patterns: i bit0 = a, bit1 = b -> a,b = 00,10,01,11
+    assert table["and"] == 0b1000
+    assert table["or"] == 0b1110
+    assert table["nand"] == 0b0111
+    assert table["nor"] == 0b0001
+    assert table["xor"] == 0b0110
+    assert table["xnor"] == 0b1001
+    assert table["inv"] == 0b0101
+    assert table["buf"] == 0b1100
+
+
+def test_constants():
+    net = LogicNetwork()
+    net.add_pi("a")
+    net.add_po(net.add_const(True), "one")
+    net.add_po(net.add_const(False), "zero")
+    table = truth_table(net)
+    assert table["one"] == 0b11
+    assert table["zero"] == 0
+
+
+def test_exhaustive_vector_shape():
+    net = network_from_expression("a * b * c")
+    words = exhaustive_vectors(net)
+    assert len(words) == 3
+    out = evaluate_vectors(net, words, 8)
+    assert out[net.pos[0]] == 0b10000000  # only pattern 111 is true
+
+
+def test_exhaustive_too_wide_raises():
+    net = LogicNetwork()
+    pis = [net.add_pi(f"i{k}") for k in range(21)]
+    net.add_po(pis[0], "o")
+    with pytest.raises(SimulationError):
+        exhaustive_vectors(net)
+
+
+def test_random_vectors_deterministic():
+    net = network_from_expression("a + b")
+    assert random_vectors(net, 64, seed=3) == random_vectors(net, 64, seed=3)
+    assert random_vectors(net, 64, seed=3) != random_vectors(net, 64, seed=4)

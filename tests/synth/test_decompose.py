@@ -1,0 +1,77 @@
+"""Tests for decomposition into 2-input AND/OR + INV."""
+
+import pytest
+
+from repro.network import LogicNetwork, NodeType, network_from_expression
+from repro.sim import assert_equivalent
+from repro.synth import decompose, is_decomposed
+
+from ..conftest import make_random_network
+
+
+def _wide_gate_network(node_type: NodeType, width: int) -> LogicNetwork:
+    net = LogicNetwork(f"{node_type.value}{width}")
+    pis = [net.add_pi(f"i{k}") for k in range(width)]
+    net.add_po(net.add_gate(node_type, pis), "o")
+    return net
+
+
+@pytest.mark.parametrize("node_type", [
+    NodeType.AND, NodeType.OR, NodeType.NAND, NodeType.NOR,
+    NodeType.XOR, NodeType.XNOR,
+])
+@pytest.mark.parametrize("width", [2, 3, 5, 8])
+def test_wide_gates_decompose_equivalently(node_type, width):
+    net = _wide_gate_network(node_type, width)
+    out = decompose(net)
+    assert is_decomposed(out)
+    assert_equivalent(net, out)
+
+
+def test_balanced_tree_depth():
+    net = _wide_gate_network(NodeType.AND, 8)
+    out = decompose(net)
+    assert out.depth() == 3  # balanced: log2(8)
+
+
+def test_buffers_removed():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    net.add_po(net.add_buf(net.add_buf(a)), "o")
+    out = decompose(net)
+    assert out.count(NodeType.BUF) == 0
+    assert_equivalent(net, out)
+
+
+def test_constants_preserved():
+    net = LogicNetwork()
+    net.add_pi("a")
+    net.add_po(net.add_const(True), "o")
+    out = decompose(net)
+    assert out.count(NodeType.CONST1) == 1
+
+
+def test_xor_chain_width3():
+    net = _wide_gate_network(NodeType.XOR, 3)
+    out = decompose(net)
+    assert is_decomposed(out)
+    assert_equivalent(net, out)
+
+
+def test_random_networks_roundtrip():
+    for seed in range(6):
+        net = make_random_network(seed)
+        out = decompose(net)
+        assert is_decomposed(out)
+        assert_equivalent(net, out, vectors=256)
+
+
+def test_is_decomposed_rejects_wide():
+    net = _wide_gate_network(NodeType.AND, 3)
+    assert not is_decomposed(net)
+    assert is_decomposed(decompose(net))
+
+
+def test_expression_networks_already_decomposed():
+    net = network_from_expression("(a + b) * !c")
+    assert is_decomposed(net)

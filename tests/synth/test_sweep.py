@@ -1,0 +1,98 @@
+"""Tests for the sweep clean-up pass."""
+
+from repro.network import LogicNetwork, NodeType, network_from_expression
+from repro.sim import assert_equivalent
+from repro.synth import sweep
+
+from ..conftest import make_random_network
+
+
+def test_constant_propagation():
+    net = network_from_expression("a * 1 + b * 0")
+    out = sweep(net)
+    # reduces to just 'a'
+    assert out.count(NodeType.AND) == 0
+    assert out.count(NodeType.OR) == 0
+    assert_equivalent(net, out)
+
+
+def test_double_inverter_eliminated():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    net.add_po(net.add_inv(net.add_inv(a)), "o")
+    out = sweep(net)
+    assert out.count(NodeType.INV) == 0
+    assert_equivalent(net, out)
+
+
+def test_inverter_sharing():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    i1 = net.add_inv(a)
+    i2 = net.add_inv(a)
+    net.add_po(net.add_and(i1, b), "x")
+    net.add_po(net.add_or(i2, b), "y")
+    out = sweep(net)
+    assert out.count(NodeType.INV) == 1
+    assert_equivalent(net, out)
+
+
+def test_idempotent_gates_collapsed():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    net.add_po(net.add_and(a, a), "x")
+    net.add_po(net.add_or(a, a), "y")
+    out = sweep(net)
+    assert out.count(NodeType.AND) == 0
+    assert out.count(NodeType.OR) == 0
+    assert_equivalent(net, out)
+
+
+def test_structural_hashing_merges_duplicates():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    g1 = net.add_and(a, b)
+    g2 = net.add_and(b, a)  # same gate, commuted
+    net.add_po(net.add_or(g1, g2), "o")
+    out = sweep(net)
+    assert out.count(NodeType.AND) == 1
+    assert out.count(NodeType.OR) == 0  # or(x, x) collapsed too
+    assert_equivalent(net, out)
+
+
+def test_dangling_removed_pis_kept():
+    net = LogicNetwork()
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    net.add_and(a, b)  # dangling
+    net.add_po(a, "o")
+    out = sweep(net)
+    assert out.count(NodeType.AND) == 0
+    assert len(out.pis) == 2
+
+
+def test_constant_outputs_preserved():
+    net = network_from_expression("a * !a")
+    out = sweep(net)
+    assert out.count(NodeType.CONST0) == 1
+    assert_equivalent(net, out)
+
+
+def test_sweep_idempotent():
+    for seed in range(4):
+        net = make_random_network(seed)
+        once = sweep(net)
+        twice = sweep(once)
+        assert len(twice) == len(once)
+        assert_equivalent(net, once, vectors=256)
+
+
+def test_sweep_preserves_interface_order():
+    net = make_random_network(11)
+    out = sweep(net)
+    assert [net.node(u).label for u in net.pis] == \
+        [out.node(u).label for u in out.pis]
+    assert [net.node(u).label for u in net.pos] == \
+        [out.node(u).label for u in out.pos]

@@ -1,0 +1,98 @@
+"""Tests for bubble-pushing unate conversion."""
+
+import pytest
+
+from repro.errors import UnateConversionError
+from repro.network import LogicNetwork, NodeType, network_from_expression
+from repro.synth import (
+    check_unate_equivalent,
+    decompose,
+    sweep,
+    unate_convert,
+    unate_with_sweep,
+)
+
+from ..conftest import make_random_network
+
+
+def _convert(expr):
+    net = network_from_expression(expr)
+    unate, report = unate_convert(sweep(decompose(net)))
+    return net, unate, report
+
+
+class TestBasics:
+    def test_already_unate_unchanged(self):
+        net, unate, report = _convert("a * b + c")
+        assert unate.is_mappable()
+        assert report.negated_pis == 0
+        assert report.duplicated_nodes == 0
+        assert check_unate_equivalent(net, unate) is None
+
+    def test_single_inverter_absorbed_at_pi(self):
+        net, unate, report = _convert("!a * b")
+        assert unate.is_mappable()
+        assert report.negated_pis == 1
+        labels = {unate.node(u).label for u in unate.pis}
+        assert "a_bar" in labels
+        assert check_unate_equivalent(net, unate) is None
+
+    def test_demorgan_applied(self):
+        net, unate, report = _convert("!(a * b)")
+        # NOT(AND) becomes OR of complemented inputs
+        assert unate.count(NodeType.OR) == 1
+        assert unate.count(NodeType.AND) == 0
+        assert check_unate_equivalent(net, unate) is None
+
+    def test_duplication_when_both_phases_needed(self):
+        # g = a*b used positively and negatively
+        net = network_from_expression("(a * b) * c + !(a * b) * d")
+        cleaned = sweep(decompose(net))
+        unate, report = unate_convert(cleaned)
+        assert report.duplicated_nodes >= 1
+        assert check_unate_equivalent(net, unate) is None
+
+    def test_xor_converts(self):
+        net = network_from_expression("(!a * b + a * !b)")
+        cleaned = sweep(decompose(net))
+        unate, report = unate_convert(cleaned)
+        assert unate.is_mappable()
+        assert check_unate_equivalent(net, unate) is None
+
+    def test_gate_count_at_most_doubles(self):
+        for seed in range(8):
+            net = make_random_network(seed)
+            cleaned = sweep(decompose(net))
+            unate, report = unate_convert(cleaned)
+            assert report.duplication_ratio <= 2.0 + 1e-9
+
+    def test_depth_not_increased(self):
+        for seed in range(8):
+            net = make_random_network(seed)
+            cleaned = sweep(decompose(net))
+            unate, report = unate_convert(cleaned)
+            assert report.unate_depth <= report.original_depth
+
+    def test_requires_decomposed_input(self):
+        net = LogicNetwork()
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        net.add_po(net.add_gate(NodeType.NAND, (a, b)), "o")
+        with pytest.raises(UnateConversionError):
+            unate_convert(net)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_networks_equivalent(self, seed):
+        net = make_random_network(seed, n_gates=30)
+        cleaned = sweep(decompose(net))
+        unate, _ = unate_with_sweep(cleaned)
+        assert unate.is_mappable()
+        assert check_unate_equivalent(net, unate, vectors=256) is None
+
+    def test_swept_result_mappable(self):
+        net = make_random_network(3)
+        unate, _ = unate_with_sweep(sweep(decompose(net)))
+        unate.validate()
+        assert unate.is_mappable()

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_circuits_listing(capsys):
+    assert main(["circuits"]) == 0
+    out = capsys.readouterr().out
+    assert "cm150" in out
+    assert "des" in out
+
+
+def test_map_benchmark(capsys):
+    assert main(["map", "mux", "-a", "soi"]) == 0
+    out = capsys.readouterr().out
+    assert "T_logic=" in out
+    assert "algorithm: soi" in out
+
+
+def test_map_all_algorithms_and_costs(capsys):
+    for algorithm in ("domino", "rs", "soi"):
+        for cost in ("area", "clock", "depth"):
+            assert main(["map", "z4ml", "-a", algorithm, "-c", cost]) == 0
+    assert "mapped:" in capsys.readouterr().out
+
+
+def test_map_file_input(tmp_path, capsys):
+    path = tmp_path / "tiny.bench"
+    path.write_text("INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n")
+    assert main(["map", str(path)]) == 0
+    assert "tiny" in capsys.readouterr().out
+
+
+def test_map_netlist_flag(capsys):
+    assert main(["map", "mux", "--netlist"]) == 0
+    assert ".subckt" in capsys.readouterr().out
+
+
+def test_map_dot_flag(capsys):
+    assert main(["map", "mux", "--dot"]) == 0
+    assert "digraph" in capsys.readouterr().out
+
+
+def test_tables_subset(capsys):
+    assert main(["tables", "-t", "table1", "--circuits", "cm150", "mux"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "average discharge reduction" in out
+
+
+def test_pbe_clean_circuit(capsys):
+    assert main(["pbe", "mux", "-a", "soi", "--cycles", "60"]) == 0
+    assert "PBE-free" in capsys.readouterr().out
+
+
+def test_error_reported_cleanly(capsys):
+    assert main(["map", "not-a-circuit"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
