@@ -15,7 +15,7 @@ import pytest
 from repro.bench_suite import load_circuit
 from repro.domino import analyse
 from repro.domino.rearrange import rearrange
-from repro.mapping import domino_map, soi_domino_map
+from repro.mapping import MapperConfig, domino_map, soi_domino_map
 
 CIRCUITS = ["cm150", "mux", "z4ml", "cordic", "frg1", "b9", "9symml",
             "apex7", "c880", "t481", "k2"]
@@ -23,11 +23,11 @@ CIRCUITS = ["cm150", "mux", "z4ml", "cordic", "frg1", "b9", "9symml",
 
 def _total_disch(ordering=None, ground_policy="optimistic", pareto=False):
     total = 0
-    kwargs = dict(ground_policy=ground_policy, pareto=pareto)
-    if ordering:
-        kwargs["ordering"] = ordering
+    config = MapperConfig(ordering=ordering or "paper",
+                          ground_policy=ground_policy, pareto=pareto)
     for name in CIRCUITS:
-        total += soi_domino_map(load_circuit(name), **kwargs).cost.t_disch
+        total += soi_domino_map(load_circuit(name),
+                                config=config).cost.t_disch
     return total
 
 

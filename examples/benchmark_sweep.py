@@ -3,7 +3,9 @@
 
 Maps every circuit of the suite with the bulk baseline and with
 SOI_Domino_Map, prints the per-circuit comparison alongside the numbers
-reported in the paper, and verifies one mapped circuit dynamically with
+reported in the paper plus per-circuit mapper instrumentation (taken
+straight from ``FlowResult.stats`` / ``FlowResult.elapsed_s`` — no
+hand-rolled timing), and verifies one mapped circuit dynamically with
 the PBE stress simulator.
 
 Run:  python examples/benchmark_sweep.py            (full suite, ~1 min)
@@ -12,9 +14,9 @@ Run:  python examples/benchmark_sweep.py            (full suite, ~1 min)
 
 import sys
 
-from repro.bench_suite import load_circuit
+from repro import TreeCache, soi_domino_map
+from repro.bench_suite import circuit_names, load_circuit
 from repro.evaluation import run_table2
-from repro.mapping import soi_domino_map
 from repro.pbe import random_stress
 
 
@@ -22,6 +24,16 @@ def main() -> None:
     circuits = sys.argv[1:] or None
     result = run_table2(circuits=circuits)
     print(result.text)
+
+    # Per-circuit instrumentation: FlowResult carries the DP counters and
+    # the wall time, and a shared TreeCache shows shape reuse across the
+    # suite.
+    cache = TreeCache()
+    print("\nSOI mapper instrumentation (shared tree cache):")
+    for name in circuits or circuit_names()[:8]:
+        flow = soi_domino_map(load_circuit(name), cache=cache)
+        print(f"  {name:8s} {flow.elapsed_s:7.3f}s  {flow.stats.summary()}")
+    print(f"  cache after sweep: {cache}")
 
     # Dynamic spot check: stress one SOI-mapped circuit with held random
     # vectors — the floating-body simulator must observe zero parasitic

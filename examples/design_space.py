@@ -13,7 +13,8 @@ Run:  python examples/design_space.py [circuit]
 import sys
 
 from repro.bench_suite import load_circuit
-from repro.mapping import ClockWeightedCost, DepthCost, soi_domino_map
+from repro.mapping import (ClockWeightedCost, DepthCost, MapperConfig,
+                           soi_domino_map)
 
 
 def row(label, cost):
@@ -32,7 +33,7 @@ def main() -> None:
     row("depth", soi_domino_map(network, cost_model=DepthCost()).cost)
     for k in (1.0, 2.0, 4.0, 8.0):
         cost = soi_domino_map(network, cost_model=ClockWeightedCost(k),
-                              duplication=False).cost
+                              config=MapperConfig(duplication=False)).cost
         row(f"clock-weighted k={k:g} (exact)", cost)
 
     print("\npulldown limit sweep (area cost):")
@@ -42,12 +43,16 @@ def main() -> None:
 
     print("\nablations (area cost, Wmax=5, Hmax=8):")
     row("paper ordering rule", soi_domino_map(network).cost)
-    row("naive ordering", soi_domino_map(network, ordering="naive").cost)
+    row("naive ordering",
+        soi_domino_map(network, config=MapperConfig(ordering="naive")).cost)
     row("exhaustive ordering",
-        soi_domino_map(network, ordering="exhaustive").cost)
+        soi_domino_map(network,
+                       config=MapperConfig(ordering="exhaustive")).cost)
     row("pessimistic grounding",
-        soi_domino_map(network, ground_policy="pessimistic").cost)
-    row("pareto tuple fronts", soi_domino_map(network, pareto=True).cost)
+        soi_domino_map(
+            network, config=MapperConfig(ground_policy="pessimistic")).cost)
+    row("pareto tuple fronts",
+        soi_domino_map(network, config=MapperConfig(pareto=True)).cost)
 
 
 if __name__ == "__main__":

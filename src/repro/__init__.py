@@ -50,6 +50,7 @@ from .domino import (
     series,
 )
 from .mapping import (
+    FLOW_PRESETS,
     AreaCost,
     ClockWeightedCost,
     CostModel,
@@ -59,13 +60,22 @@ from .mapping import (
     MappingEngine,
     MappingResult,
     domino_map,
+    flow_config,
     map_network,
     prepare_network,
     rs_map,
     soi_domino_map,
 )
+from .pipeline import (
+    BatchReport,
+    BatchResult,
+    BatchRunner,
+    BatchTask,
+    MappingStats,
+    TreeCache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BenchmarkError",
@@ -98,6 +108,7 @@ __all__ = [
     "rearrange",
     "series",
     "AreaCost",
+    "FLOW_PRESETS",
     "ClockWeightedCost",
     "CostModel",
     "DepthCost",
@@ -106,9 +117,16 @@ __all__ = [
     "MappingEngine",
     "MappingResult",
     "domino_map",
+    "flow_config",
     "map_network",
     "prepare_network",
     "rs_map",
     "soi_domino_map",
+    "BatchReport",
+    "BatchResult",
+    "BatchRunner",
+    "BatchTask",
+    "MappingStats",
+    "TreeCache",
     "__version__",
 ]

@@ -27,24 +27,19 @@ from ..network import LogicNetwork
 from .arithmetic import (
     alu,
     array_multiplier,
-    carry_lookahead_adder,
-    comparator,
     cordic_stage,
-    ripple_adder,
     z4ml,
 )
-from .des import des_round, des_rounds
+from .des import des_round
 from .generators import random_network
-from .parity_ecc import parity_tree, sec_corrector, sec_ded, sec_encoder
+from .parity_ecc import sec_corrector, sec_ded
 from .selector_logic import (
     counter_bank,
-    incrementer,
-    multiplexer,
     mux_tree,
     mux_two_level,
     priority_interrupt_controller,
 )
-from .symmetric import nine_sym, count_range, rd_function
+from .symmetric import nine_sym
 
 #: Environment variable pointing at a directory of real benchmark files.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"

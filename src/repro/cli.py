@@ -5,6 +5,8 @@ Subcommands
 ``map``      map a circuit (built-in benchmark name or .bench/.blif/.pla
              file) with one of the three algorithms and print the cost
              summary (optionally the transistor netlist or DOT graph);
+``batch``    fan a circuits x flows sweep across the batch pipeline and
+             print per-task costs, timings and engine instrumentation;
 ``tables``   reproduce the paper's Tables I-IV;
 ``circuits`` list the built-in benchmark suite;
 ``pbe``      run the PBE stress simulator on a mapped circuit.
@@ -19,15 +21,11 @@ from typing import Optional
 from .bench_suite import circuit_names, get_spec, load_circuit
 from .errors import ReproError
 from .io import circuit_netlist, circuit_to_dot, load_bench, load_blif, load_pla
-from .mapping import ClockWeightedCost, DepthCost, domino_map, rs_map, soi_domino_map
+from .mapping import FLOW_PRESETS, ClockWeightedCost, DepthCost, map_network
 from .network import LogicNetwork, network_stats
 from .pbe import random_stress
 
-_ALGORITHMS = {
-    "domino": domino_map,
-    "rs": rs_map,
-    "soi": soi_domino_map,
-}
+_FLOW_CHOICES = sorted(FLOW_PRESETS)
 
 
 def _load_network(source: str) -> LogicNetwork:
@@ -40,17 +38,19 @@ def _load_network(source: str) -> LogicNetwork:
     return load_circuit(source)
 
 
+def _cost_model(cost: str, k: float):
+    if cost == "area":
+        return None
+    if cost == "clock":
+        return ClockWeightedCost(k)
+    return DepthCost()
+
+
 def _cmd_map(args) -> int:
     network = _load_network(args.circuit)
-    if args.cost == "area":
-        model = None
-    elif args.cost == "clock":
-        model = ClockWeightedCost(args.k)
-    else:
-        model = DepthCost()
-    flow = _ALGORITHMS[args.algorithm]
-    result = flow(network, cost_model=model, w_max=args.w_max,
-                  h_max=args.h_max)
+    model = _cost_model(args.cost, args.k)
+    result = map_network(network, flow=args.algorithm, cost_model=model,
+                         w_max=args.w_max, h_max=args.h_max)
     cost = result.cost
     print(f"circuit:   {network.name}")
     print(f"input:     {network_stats(network)}")
@@ -61,11 +61,54 @@ def _cmd_map(args) -> int:
               f"{rep.negated_pis} complemented inputs)")
     print(f"algorithm: {args.algorithm} ({args.cost} cost)")
     print(f"mapped:    {cost}")
+    print(f"stats:     {result.stats.summary()} "
+          f"elapsed={result.elapsed_s:.3f}s")
     if args.netlist:
         print(circuit_netlist(result.circuit))
     if args.dot:
         print(circuit_to_dot(result.circuit))
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from .evaluation.formats import render_table
+    from .pipeline import BatchRunner
+
+    flows = args.algorithm or ["soi"]
+    runner = BatchRunner(max_workers=args.jobs, timeout_s=args.timeout,
+                         retries=args.retries, use_cache=not args.no_cache)
+    tasks = BatchRunner.sweep_tasks(
+        circuits=args.circuits or None, flows=flows,
+        cost_models=[_cost_model(args.cost, args.k)])
+    report = runner.run_serial(tasks) if args.serial else runner.run(tasks)
+
+    headers = ["circuit", "flow", "T_total", "T_disch", "#G", "L",
+               "tuples", "pruned", "combines", "cache", "time_s"]
+    rows = []
+    for r in report.results:
+        if r.ok:
+            s = r.stats
+            rows.append([r.task.circuit, r.task.flow,
+                         r.cost.t_total, r.cost.t_disch,
+                         r.cost.num_gates, r.cost.levels,
+                         s.tuples_created, s.tuples_pruned, s.combine_calls,
+                         f"{s.cache_hits}/{s.cache_requests}",
+                         f"{r.elapsed_s:.3f}"])
+        else:
+            rows.append([r.task.circuit, r.task.flow, "-", "-", "-", "-",
+                         "-", "-", "-", "-", f"{r.elapsed_s:.3f}"])
+    title = (f"batch: {len(report.results)} tasks, mode={report.mode}, "
+             f"{args.cost} cost")
+    print(render_table(headers, rows, title=title))
+
+    total = report.total_stats()
+    print(f"\ntotals:    {total.summary()}")
+    print(f"wall:      {report.wall_s:.2f}s "
+          f"(task time {report.task_time_s:.2f}s)")
+    for failure in report.failures:
+        print(f"FAILED:    {failure.task.label}: {failure.error}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_tables(args) -> int:
@@ -89,7 +132,7 @@ def _cmd_circuits(_args) -> int:
 
 def _cmd_pbe(args) -> int:
     network = _load_network(args.circuit)
-    result = _ALGORITHMS[args.algorithm](network)
+    result = map_network(network, flow=args.algorithm)
     report = random_stress(result.circuit, cycles=args.cycles,
                            seed=args.seed)
     print(f"circuit {network.name}, {args.algorithm}-mapped: {report}")
@@ -107,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map = sub.add_parser("map", help="map a circuit to domino logic")
     p_map.add_argument("circuit",
                        help="benchmark name or .bench/.blif/.pla file")
-    p_map.add_argument("-a", "--algorithm", choices=sorted(_ALGORITHMS),
+    p_map.add_argument("-a", "--algorithm", choices=_FLOW_CHOICES,
                        default="soi")
     p_map.add_argument("-c", "--cost", choices=["area", "clock", "depth"],
                        default="area")
@@ -120,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--dot", action="store_true",
                        help="print the mapped circuit as Graphviz DOT")
     p_map.set_defaults(func=_cmd_map)
+
+    p_batch = sub.add_parser(
+        "batch", help="map many circuits through the batch pipeline")
+    p_batch.add_argument("circuits", nargs="*",
+                         help="benchmark names (default: full suite)")
+    p_batch.add_argument("-a", "--algorithm", action="append",
+                         choices=_FLOW_CHOICES,
+                         help="flow to run (repeatable; default: soi)")
+    p_batch.add_argument("-c", "--cost", choices=["area", "clock", "depth"],
+                         default="area")
+    p_batch.add_argument("-k", type=float, default=2.0,
+                         help="clock-transistor weight for --cost clock")
+    p_batch.add_argument("-j", "--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count; "
+                              "1 = in-process serial)")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-task timeout in seconds (pool mode)")
+    p_batch.add_argument("--retries", type=int, default=1,
+                         help="retries per task on worker failure")
+    p_batch.add_argument("--no-cache", action="store_true",
+                         help="disable the tree-level memoization cache")
+    p_batch.add_argument("--serial", action="store_true",
+                         help="force in-process serial execution")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_tab = sub.add_parser("tables", help="reproduce the paper's tables")
     p_tab.add_argument("-t", "--table", action="append",
@@ -134,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pbe = sub.add_parser("pbe", help="stress a mapped circuit for PBE")
     p_pbe.add_argument("circuit")
-    p_pbe.add_argument("-a", "--algorithm", choices=sorted(_ALGORITHMS),
+    p_pbe.add_argument("-a", "--algorithm", choices=_FLOW_CHOICES,
                        default="soi")
     p_pbe.add_argument("--cycles", type=int, default=300)
     p_pbe.add_argument("--seed", type=int, default=0)

@@ -14,7 +14,7 @@ DESIGN.md section 6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import StructureError

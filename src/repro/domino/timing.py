@@ -28,7 +28,7 @@ Absolute numbers are unit-less; only comparisons are meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from .circuit import DominoCircuit
 from .gate import DominoGate

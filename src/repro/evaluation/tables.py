@@ -15,8 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..bench_suite import load_circuit
 from ..mapping import (
     ClockWeightedCost,
-    CostModel,
     DepthCost,
+    MapperConfig,
     domino_map,
     prepare_network,
     rs_map,
@@ -159,10 +159,11 @@ def run_table3(circuits: Optional[Sequence[str]] = None,
     improvements = []
     for name in names:
         network = load_circuit(name, bench_dir=bench_dir)
+        config = MapperConfig(duplication=duplication)
         c1 = soi_domino_map(network, cost_model=ClockWeightedCost(1.0),
-                            duplication=duplication).cost
+                            config=config).cost
         ck = soi_domino_map(network, cost_model=ClockWeightedCost(k),
-                            duplication=duplication).cost
+                            config=config).cost
         improv = percent(c1.t_clock, ck.t_clock)
         improvements.append(improv)
         paper = paper_data.TABLE3.get(name)

@@ -7,13 +7,15 @@ from .engine import (
     MapperConfig,
     MappingEngine,
     MappingResult,
-    map_network,
 )
 from .flows import (
+    FLOW_PRESETS,
     PAPER_H_MAX,
     PAPER_W_MAX,
     FlowResult,
     domino_map,
+    flow_config,
+    map_network,
     prepare_network,
     rs_map,
     soi_domino_map,
@@ -31,10 +33,12 @@ __all__ = [
     "MappingEngine",
     "MappingResult",
     "map_network",
+    "FLOW_PRESETS",
     "PAPER_H_MAX",
     "PAPER_W_MAX",
     "FlowResult",
     "domino_map",
+    "flow_config",
     "prepare_network",
     "rs_map",
     "soi_domino_map",

@@ -69,6 +69,16 @@ class CostModel:
         """Comparable key for choosing the tuple a gate is formed from."""
         return wcost
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity used to key the tree cache.
+
+        Two models with equal fingerprints must price every cost event
+        identically; subclasses adding parameters must override this (or
+        cached tables priced under one parameterization would be reused
+        under another).
+        """
+        return (type(self).__qualname__, self.k_clock)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(k_clock={self.k_clock})"
 
@@ -122,6 +132,9 @@ class DepthCost(CostModel):
 
     def gate_key(self, wcost: float, levels: int) -> float:
         return self.level_weight * levels + wcost
+
+    def fingerprint(self) -> tuple:
+        return (type(self).__qualname__, self.k_clock, self.level_weight)
 
     def __repr__(self) -> str:
         return (f"DepthCost(level_weight={self.level_weight}, "

@@ -32,16 +32,17 @@ Discharge transistors:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import time
+from dataclasses import astuple, dataclass, field
+from typing import Dict, List, Optional
 
-from ..domino.analysis import analyse
 from ..domino.circuit import CircuitCost, DominoCircuit
 from ..domino.gate import DominoGate
 from ..domino.rearrange import rearrange
 from ..domino.structure import Leaf, Pulldown, parallel, series
 from ..errors import MappingError
 from ..network import LogicNetwork, NodeType
+from ..pipeline.metrics import MappingStats
 from .cost import CostModel
 from .tuples import MapTuple, TupleTable
 
@@ -107,9 +108,17 @@ class MapperConfig:
             raise MappingError(
                 f"infeasible limits w_max={self.w_max}, h_max={self.h_max}")
         if self.ordering not in ORDERING_RULES:
-            raise MappingError(f"unknown ordering rule {self.ordering!r}")
+            raise MappingError(
+                f"unknown ordering rule {self.ordering!r}; "
+                f"expected one of {', '.join(ORDERING_RULES)}")
         if self.ground_policy not in GROUND_POLICIES:
-            raise MappingError(f"unknown ground policy {self.ground_policy!r}")
+            raise MappingError(
+                f"unknown ground policy {self.ground_policy!r}; "
+                f"expected one of {', '.join(GROUND_POLICIES)}")
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of every field (tree-cache key component)."""
+        return astuple(self)
 
 
 @dataclass
@@ -135,8 +144,11 @@ class MappingResult:
     cost_model: CostModel
     #: mapping-node id -> GateRecord for every *materialized* gate
     gate_records: Dict[int, GateRecord] = field(default_factory=dict)
-    #: number of DP tuples created (profiling/regression metric)
+    #: number of DP tuples created (profiling/regression metric; mirrors
+    #: ``stats.tuples_created``)
     tuples_created: int = 0
+    #: full instrumentation counters for this run
+    stats: MappingStats = field(default_factory=MappingStats)
 
     @property
     def cost(self) -> CircuitCost:
@@ -144,10 +156,23 @@ class MappingResult:
 
 
 class MappingEngine:
-    """Runs one technology-mapping DP over a unate network."""
+    """Runs one technology-mapping DP over a unate network.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`~repro.pipeline.TreeCache`; cache-eligible nodes
+        reuse DP tables memoized from identically-shaped fanin cones
+        (bit-identical results, see ``pipeline/cache.py``).
+    stats:
+        Optional :class:`~repro.pipeline.MappingStats` to accumulate into
+        (a fresh one is created otherwise); also exposed on the returned
+        :attr:`MappingResult.stats`.
+    """
 
     def __init__(self, network: LogicNetwork, cost_model: CostModel,
-                 config: Optional[MapperConfig] = None):
+                 config: Optional[MapperConfig] = None, *,
+                 cache=None, stats: Optional[MappingStats] = None):
         if not network.is_mappable():
             raise MappingError(
                 f"network {network.name!r} is not mappable: run decompose() "
@@ -155,10 +180,13 @@ class MappingEngine:
         self.network = network
         self.model = cost_model
         self.config = config or MapperConfig()
+        self.cache = cache
+        self.stats = stats if stats is not None else MappingStats()
         self._tables: Dict[int, TupleTable] = {}
         self._gates: Dict[int, GateRecord] = {}
         self._forced: Dict[int, bool] = {}
-        self._tuples_created = 0
+        self._signatures: Dict[int, Optional[int]] = {}
+        self._cache_prefix: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # leaf tuples
@@ -322,29 +350,62 @@ class MappingEngine:
 
     def _process_node(self, uid: int) -> None:
         node = self.network.node(uid)
-        table = TupleTable(self.model.tuple_key, pareto=self.config.pareto)
-        views = [self._fanin_view(f) for f in node.fanins]
-        combine_or = node.type is NodeType.OR
-        for ta in views[0]:
-            for tb in views[1]:
-                if combine_or:
-                    candidates = self._combine_or(ta, tb)
-                    candidates = [candidates] if candidates else []
-                else:
-                    candidates = self._combine_and(ta, tb)
-                for candidate in candidates:
-                    self._tuples_created += 1
-                    table.insert(candidate)
-        if not len(table):
-            raise MappingError(
-                f"no feasible {{W,H}} tuple for node {node.label}: limits "
-                f"w_max={self.config.w_max}, h_max={self.config.h_max} are "
-                "too tight")
+        stats = self.stats
+        started = time.perf_counter()
+        table = self._cached_table(uid)
+        if table is None:
+            table = TupleTable(self.model.tuple_key,
+                               pareto=self.config.pareto)
+            views = [self._fanin_view(f) for f in node.fanins]
+            combine_or = node.type is NodeType.OR
+            for ta in views[0]:
+                for tb in views[1]:
+                    stats.combine_calls += 1
+                    if combine_or:
+                        candidates = self._combine_or(ta, tb)
+                        candidates = [candidates] if candidates else []
+                    else:
+                        candidates = self._combine_and(ta, tb)
+                    for candidate in candidates:
+                        stats.tuples_created += 1
+                        if not table.insert(candidate):
+                            stats.tuples_pruned += 1
+            if not len(table):
+                raise MappingError(
+                    f"no feasible {{W,H}} tuple for node {node.label}: "
+                    f"limits w_max={self.config.w_max}, "
+                    f"h_max={self.config.h_max} are too tight")
+            self._store_table(uid, table)
         self._tables[uid] = table
         self._gates[uid] = self._form_gate(uid, table)
+        elapsed = time.perf_counter() - started
+        stats.nodes_processed += 1
+        stats.node_time_s += elapsed
+        stats.max_node_time_s = max(stats.max_node_time_s, elapsed)
+
+    # ------------------------------------------------------------------
+    # tree-cache hooks
+    # ------------------------------------------------------------------
+    def _cached_table(self, uid: int) -> Optional[TupleTable]:
+        sig = self._signatures.get(uid)
+        if sig is None or self.cache is None:
+            return None
+        table = self.cache.fetch(self._cache_prefix, sig, self.network, uid,
+                                 self.model.tuple_key, self.config.pareto)
+        if table is None:
+            self.stats.cache_misses += 1
+        else:
+            self.stats.cache_hits += 1
+        return table
+
+    def _store_table(self, uid: int, table: TupleTable) -> None:
+        sig = self._signatures.get(uid)
+        if sig is not None and self.cache is not None:
+            self.cache.put(self._cache_prefix, sig, self.network, uid, table)
 
     def _form_gate(self, uid: int, table: TupleTable) -> GateRecord:
         """Build the ``{1,1}`` formed-gate record from the best tuple."""
+        self.stats.gate_formations += 1
         best = None
         best_key = None
         policy = self.config.ground_policy
@@ -374,6 +435,10 @@ class MappingEngine:
     def run(self) -> MappingResult:
         """Execute the DP and materialize the mapped circuit."""
         network = self.network
+        if self.cache is not None and self.cache.enabled:
+            self._cache_prefix = (self.config.fingerprint(),
+                                  self.model.fingerprint())
+            self._signatures = self.cache.signatures(network)
         po_drivers = {network.node(p).fanins[0] for p in network.pos}
         for uid in network.node_ids:
             node = network.node(uid)
@@ -444,7 +509,8 @@ class MappingEngine:
             config=self.config,
             cost_model=self.model,
             gate_records=dict(used),
-            tuples_created=self._tuples_created,
+            tuples_created=self.stats.tuples_created,
+            stats=self.stats,
         )
         return result
 
@@ -452,10 +518,3 @@ class MappingEngine:
 def _structure_gate_refs(structure: Pulldown) -> List[int]:
     return [leaf.source_gate for leaf in structure.leaves()
             if leaf.source_gate is not None]
-
-
-def map_network(network: LogicNetwork, cost_model: Optional[CostModel] = None,
-                config: Optional[MapperConfig] = None) -> MappingResult:
-    """Convenience wrapper: run one mapping over a mappable network."""
-    model = cost_model if cost_model is not None else CostModel()
-    return MappingEngine(network, model, config).run()

@@ -1,9 +1,14 @@
 """End-to-end mapping flows: the three algorithms compared in the paper.
 
-Each flow takes an arbitrary combinational :class:`LogicNetwork` (any gate
-vocabulary the readers produce), runs the synthesis front end
-(decompose -> sweep -> unate conversion -> sweep), and then maps with one
-of:
+:func:`map_network` is the single entry point: it runs the synthesis
+front end (decompose -> sweep -> unate conversion -> sweep) on any
+combinational :class:`LogicNetwork`, maps it with a
+:class:`~repro.mapping.engine.MapperConfig` — the single source of truth
+for every mapper knob — and returns a :class:`FlowResult` carrying the
+mapped circuit, the front-end report, instrumentation counters, and the
+wall-clock time.
+
+The paper's three algorithms are thin presets over it:
 
 * :func:`domino_map`      — the bulk-CMOS baseline (discharge transistors
   added by post-processing only, invisible to the optimizer);
@@ -14,15 +19,21 @@ of:
 
 All three share the one synthesis front end, so for a given circuit they
 map the *same* unate network — exactly the paper's experimental setup.
+Each preset is a named entry in :data:`FLOW_PRESETS`; the batch pipeline
+(:mod:`repro.pipeline`) dispatches on those names.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import time
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
 
 from ..domino.circuit import CircuitCost
+from ..errors import MappingError
 from ..network import LogicNetwork
+from ..pipeline.metrics import MappingStats
 from ..synth import UnateReport, decompose, sweep, unate_with_sweep
 from .cost import CostModel
 from .engine import MapperConfig, MappingEngine, MappingResult
@@ -31,13 +42,28 @@ from .engine import MapperConfig, MappingEngine, MappingResult
 PAPER_W_MAX = 5
 PAPER_H_MAX = 8
 
+#: Named flow presets: the MapperConfig fields each flow pins.  A preset
+#: only fixes what *defines* the flow; everything else stays caller
+#: controlled through ``config=``.
+FLOW_PRESETS: Dict[str, Dict[str, object]] = {
+    "domino": {"pbe_aware": False, "ordering": "adverse",
+               "rearrange_gates": False},
+    "rs": {"pbe_aware": False, "ordering": "adverse",
+           "rearrange_gates": True},
+    "soi": {"pbe_aware": True},
+}
+
 
 @dataclass
 class FlowResult:
-    """A mapped circuit together with front-end reports."""
+    """A mapped circuit together with front-end reports and run metrics."""
 
     mapping: MappingResult
     unate_report: Optional[UnateReport]
+    #: which preset produced this result ("custom" for raw configs)
+    flow: str = "custom"
+    #: wall-clock seconds for the whole flow (front end + mapping)
+    elapsed_s: float = 0.0
 
     @property
     def circuit(self):
@@ -46,6 +72,15 @@ class FlowResult:
     @property
     def cost(self) -> CircuitCost:
         return self.mapping.cost
+
+    @property
+    def stats(self) -> MappingStats:
+        """Instrumentation counters of the mapping run."""
+        return self.mapping.stats
+
+    @property
+    def config(self) -> MapperConfig:
+        return self.mapping.config
 
 
 def prepare_network(network: LogicNetwork):
@@ -61,31 +96,96 @@ def prepare_network(network: LogicNetwork):
     return unate, report
 
 
-def _run(network: LogicNetwork, cost_model: Optional[CostModel],
-         config: MapperConfig) -> FlowResult:
+def flow_config(flow: Optional[str],
+                config: Optional[MapperConfig] = None,
+                w_max: int = PAPER_W_MAX,
+                h_max: int = PAPER_H_MAX) -> MapperConfig:
+    """Resolve the effective :class:`MapperConfig` of a flow invocation.
+
+    ``config`` supplies every knob (``w_max``/``h_max`` are only used
+    when it is None); the named ``flow`` preset then pins the fields that
+    define that algorithm.  ``flow=None`` applies no preset: the config
+    is taken verbatim.
+    """
+    if config is None:
+        config = MapperConfig(w_max=w_max, h_max=h_max)
+    if flow is None:
+        return config
+    try:
+        preset = FLOW_PRESETS[flow]
+    except KeyError:
+        raise MappingError(
+            f"unknown flow {flow!r}; expected one of "
+            f"{', '.join(FLOW_PRESETS)}") from None
+    return replace(config, **preset)
+
+
+def map_network(network: LogicNetwork,
+                flow: Optional[str] = None,
+                cost_model: Optional[CostModel] = None,
+                config: Optional[MapperConfig] = None,
+                *,
+                w_max: int = PAPER_W_MAX,
+                h_max: int = PAPER_H_MAX,
+                cache=None,
+                stats: Optional[MappingStats] = None) -> FlowResult:
+    """Map ``network`` end-to-end: the unified entry point.
+
+    Parameters
+    ----------
+    flow:
+        Optional preset name (``"domino"``, ``"rs"``, ``"soi"``); None
+        maps with ``config`` exactly as given (default
+        :class:`MapperConfig`, which is the SOI paper configuration).
+    cost_model:
+        Objective; defaults to plain transistor area.
+    config:
+        The single source of truth for mapper knobs; a named flow pins
+        only its defining fields on top of it.
+    w_max, h_max:
+        Convenience pulldown limits, used only when ``config`` is None.
+    cache:
+        Optional :class:`~repro.pipeline.TreeCache` shared across runs.
+    stats:
+        Optional :class:`~repro.pipeline.MappingStats` to accumulate into.
+    """
+    if isinstance(flow, CostModel):  # pre-1.1 map_network(net, cost_model)
+        warnings.warn(
+            "map_network(network, cost_model) is deprecated; pass "
+            "cost_model=... by keyword (the second positional argument "
+            "is now the flow name)", DeprecationWarning, stacklevel=2)
+        cost_model, flow = flow, None
+    started = time.perf_counter()
+    effective = flow_config(flow, config, w_max=w_max, h_max=h_max)
     unate, report = prepare_network(network)
     model = cost_model if cost_model is not None else CostModel()
-    mapping = MappingEngine(unate, model, config).run()
-    return FlowResult(mapping=mapping, unate_report=report)
+    engine = MappingEngine(unate, model, effective, cache=cache, stats=stats)
+    mapping = engine.run()
+    return FlowResult(mapping=mapping, unate_report=report,
+                      flow=flow or "custom",
+                      elapsed_s=time.perf_counter() - started)
 
 
 def domino_map(network: LogicNetwork,
                cost_model: Optional[CostModel] = None,
-               w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX) -> FlowResult:
+               w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX,
+               config: Optional[MapperConfig] = None,
+               cache=None) -> FlowResult:
     """The bulk-CMOS baseline ``Domino_Map``.
 
     The DP ignores discharge points entirely; the materialized gates then
     receive the p-discharge transistors that the structural PBE analysis
     demands (the paper's post-processing step).
     """
-    config = MapperConfig(w_max=w_max, h_max=h_max, pbe_aware=False,
-                          ordering="adverse")
-    return _run(network, cost_model, config)
+    return map_network(network, flow="domino", cost_model=cost_model,
+                       config=config, w_max=w_max, h_max=h_max, cache=cache)
 
 
 def rs_map(network: LogicNetwork,
            cost_model: Optional[CostModel] = None,
-           w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX) -> FlowResult:
+           w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX,
+           config: Optional[MapperConfig] = None,
+           cache=None) -> FlowResult:
     """``RS_Map``: the baseline plus series-stack rearrangement.
 
     Identical DP to :func:`domino_map`, but every materialized gate is
@@ -93,28 +193,45 @@ def rs_map(network: LogicNetwork,
     discharge transistors are inserted, sinking parallel stacks toward
     ground (Table I).
     """
-    config = MapperConfig(w_max=w_max, h_max=h_max, pbe_aware=False,
-                          ordering="adverse", rearrange_gates=True)
-    return _run(network, cost_model, config)
+    return map_network(network, flow="rs", cost_model=cost_model,
+                       config=config, w_max=w_max, h_max=h_max, cache=cache)
+
+
+#: The loose soi_domino_map kwargs retired in favour of ``config=``.
+_SOI_LEGACY_KWARGS = ("ordering", "ground_policy", "pareto", "duplication")
 
 
 def soi_domino_map(network: LogicNetwork,
                    cost_model: Optional[CostModel] = None,
                    w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX,
-                   ordering: str = "paper",
-                   ground_policy: str = "optimistic",
-                   pareto: bool = False,
-                   duplication: bool = True) -> FlowResult:
+                   config: Optional[MapperConfig] = None,
+                   cache=None,
+                   **legacy) -> FlowResult:
     """The paper's ``SOI_Domino_Map`` (listing 2).
 
-    ``ordering``, ``ground_policy``, ``pareto`` and ``duplication`` expose
-    the ablation switches documented in DESIGN.md; the defaults reproduce
-    the paper.  ``duplication=False`` selects the duplication-free tree
-    regime where the per-tree DP is exact — Table III's weighted-objective
-    comparison uses it, because only for exact optima does raising the
-    clock weight provably never increase the clock load.
+    The ablation switches documented in DESIGN.md (``ordering``,
+    ``ground_policy``, ``pareto``, ``duplication``) live on
+    :class:`MapperConfig` and are passed via ``config=``; the defaults
+    reproduce the paper.  ``duplication=False`` selects the
+    duplication-free tree regime where the per-tree DP is exact — Table
+    III's weighted-objective comparison uses it, because only for exact
+    optima does raising the clock weight provably never increase the
+    clock load.
+
+    Passing those switches as keyword arguments still works but emits a
+    :class:`DeprecationWarning`.
     """
-    config = MapperConfig(w_max=w_max, h_max=h_max, pbe_aware=True,
-                          ordering=ordering, ground_policy=ground_policy,
-                          pareto=pareto, duplication=duplication)
-    return _run(network, cost_model, config)
+    unknown = set(legacy) - set(_SOI_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"soi_domino_map() got unexpected keyword arguments "
+            f"{sorted(unknown)}")
+    if legacy:
+        warnings.warn(
+            f"soi_domino_map({', '.join(sorted(legacy))}=...) is "
+            "deprecated; pass config=MapperConfig(...) instead",
+            DeprecationWarning, stacklevel=2)
+        config = flow_config(None, config, w_max=w_max, h_max=h_max)
+        config = replace(config, **legacy)
+    return map_network(network, flow="soi", cost_model=cost_model,
+                       config=config, w_max=w_max, h_max=h_max, cache=cache)

@@ -103,6 +103,25 @@ class TupleTable:
         self._max_front = max_front
         self._slots: Dict[Tuple[int, int], List[MapTuple]] = {}
 
+    @classmethod
+    def from_slots(cls, key_fn, pareto: bool,
+                   slots: List[Tuple[Tuple[int, int], List[MapTuple]]],
+                   max_front: int = 4) -> "TupleTable":
+        """Rebuild a finished table from ``(shape, tuples)`` pairs.
+
+        Used by the tree cache: the pairs must be a table's final
+        contents in slot-insertion order, so the rebuilt table iterates
+        (and therefore maps) bit-identically to the original.
+        """
+        table = cls(key_fn, pareto=pareto, max_front=max_front)
+        for shape, tuples in slots:
+            table._slots[shape] = list(tuples)
+        return table
+
+    def slots(self) -> List[Tuple[Tuple[int, int], List[MapTuple]]]:
+        """Final contents as ``(shape, tuples)`` pairs in insertion order."""
+        return [(shape, list(slot)) for shape, slot in self._slots.items()]
+
     def insert(self, candidate: MapTuple) -> bool:
         """Offer ``candidate``; returns True if it was kept."""
         slot = self._slots.setdefault(candidate.shape, [])

@@ -8,7 +8,7 @@ conversion) and the technology mappers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import NetworkError
 from .nodes import LogicNode, NodeType

@@ -1,0 +1,267 @@
+"""Tree-level memoization for the mapping dynamic program.
+
+The DP is exact over fanout-free trees, and benchmark suites repeat tree
+shapes constantly (mux trees, parity trees, adder slices, the calibrated
+random networks).  For a cache-eligible node — an AND/OR node whose whole
+transitive fanin cone consists of primary inputs and single-fanout AND/OR
+nodes — the node's tuple table depends only on
+
+* the *shape* of that cone (node types in fanin order),
+* the :class:`~repro.mapping.engine.MapperConfig`, and
+* the cost model,
+
+never on signal names or node ids.  :class:`TreeCache` therefore keys
+entries by ``(config fingerprint, cost-model fingerprint, shape
+signature)`` and stores the node's finished tuple table with its leaf
+labels abstracted to positions in a canonical preorder traversal.  A hit
+rebuilds the table for the new cone by substituting the actual primary-
+input labels and interior node ids — bit-identical to what the DP would
+have produced, because the stored tuples *are* what the DP produced for
+an identical shape — and skips the combine/prune loop entirely.
+
+Shape signatures are hash-consed: every distinct ``(op, left, right)``
+triple gets a small integer id, so signing a network is O(nodes) and
+comparing signatures is integer equality.  Nodes whose cone repeats a
+primary-input label (the same PI feeding two leaves) are skipped — the
+positional relabeling would be ambiguous — as are nodes with any
+multi-fanout interior, whose DP view depends on sharing amortization.
+
+``TreeCache(enabled=False)`` (or flipping :attr:`TreeCache.enabled` at
+any time) is the correctness-preserving bypass: lookups miss, nothing is
+stored, and mapping proceeds exactly as without a cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..domino.structure import Leaf, Pulldown
+from ..mapping.tuples import MapTuple, TupleTable
+from ..network import LogicNetwork, NodeType
+
+#: Signature id reserved for a primary-input leaf.
+_PI_SIG = 0
+
+#: One cached table: ``[(shape, [tuple templates in slot order]), ...]``
+#: in slot-insertion order, so a rebuilt table iterates identically.
+_Template = List[Tuple[Tuple[int, int], List[MapTuple]]]
+
+
+class TreeCache:
+    """Cross-run memoization of per-node DP tables.
+
+    Parameters
+    ----------
+    enabled:
+        The bypass switch; a disabled cache never hits and never stores.
+    max_entries:
+        Storage cap; once reached, new shapes are no longer cached (hits
+        on already-stored shapes keep working).
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: int = 200_000):
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._entries: Dict[tuple, _Template] = {}
+        self._intern: Dict[Tuple[str, int, int], int] = {}
+        self._next_sig = _PI_SIG + 1
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.skipped = 0       #: store attempts dropped (cap or ambiguity)
+
+    # ------------------------------------------------------------------
+    # shape signatures
+    # ------------------------------------------------------------------
+    def signatures(self, network: LogicNetwork) -> Dict[int, Optional[int]]:
+        """Signature id per node; ``None`` marks cache-ineligible nodes."""
+        sigs: Dict[int, Optional[int]] = {}
+        for uid in network.topological_order():
+            node = network.node(uid)
+            if node.type is NodeType.PI:
+                sigs[uid] = _PI_SIG
+            elif node.type in (NodeType.AND, NodeType.OR):
+                sigs[uid] = self._sign_gate(network, node, sigs)
+            else:
+                sigs[uid] = None
+        return sigs
+
+    def _sign_gate(self, network, node, sigs) -> Optional[int]:
+        if len(node.fanins) != 2:
+            return None
+        parts: List[int] = []
+        for fanin in node.fanins:
+            sub = sigs.get(fanin)
+            if sub is None:
+                return None
+            # Interior gates must be single-fanout: a shared node's view
+            # depends on its fanout count (cost amortization / forcing).
+            if (network.node(fanin).type is not NodeType.PI
+                    and network.fanout_count(fanin) != 1):
+                return None
+            parts.append(sub)
+        key = (node.type.value, parts[0], parts[1])
+        sig = self._intern.get(key)
+        if sig is None:
+            sig = self._next_sig
+            self._next_sig += 1
+            self._intern[key] = sig
+        return sig
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def fetch(self, prefix: tuple, sig: int, network: LogicNetwork,
+              uid: int, key_fn, pareto: bool) -> Optional[TupleTable]:
+        """Rebuild the cached table for ``uid``'s cone, or None on miss."""
+        if not self.enabled:
+            return None
+        template = self._entries.get((prefix, sig))
+        if template is None:
+            self.misses += 1
+            return None
+        maps = _subtree_maps(network, uid)
+        if maps is None:
+            self.misses += 1
+            return None
+        labels, uids, _, _ = maps
+        slots = [(shape, [_instantiate(t, labels, uids) for t in slot])
+                 for shape, slot in template]
+        self.hits += 1
+        return TupleTable.from_slots(key_fn, pareto, slots)
+
+    def put(self, prefix: tuple, sig: int, network: LogicNetwork,
+            uid: int, table: TupleTable) -> bool:
+        """Store ``uid``'s finished table; returns True if cached."""
+        if not self.enabled:
+            return False
+        key = (prefix, sig)
+        if key in self._entries:
+            return False
+        if len(self._entries) >= self.max_entries:
+            self.skipped += 1
+            return False
+        maps = _subtree_maps(network, uid)
+        if maps is None:
+            self.skipped += 1
+            return False
+        _, _, label_pos, uid_pos = maps
+        template: _Template = []
+        for shape, slot in table.slots():
+            templated = []
+            for t in slot:
+                abstract = _abstract(t, label_pos, uid_pos)
+                if abstract is None:
+                    self.skipped += 1
+                    return False
+                templated.append(abstract)
+            template.append((shape, templated))
+        self._entries[key] = template
+        self.stores += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "skipped": self.skipped,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.stores = self.skipped = 0
+
+    def __repr__(self) -> str:
+        return (f"TreeCache(enabled={self.enabled}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+# ---------------------------------------------------------------------------
+# canonical cone traversal and structure (de)templating
+# ---------------------------------------------------------------------------
+def _subtree_maps(network: LogicNetwork, uid: int):
+    """Preorder maps of ``uid``'s cone: leaf labels and interior uids.
+
+    Returns ``(labels, uids, label_pos, uid_pos)`` or None when a primary
+    input appears at more than one leaf position (positional relabeling
+    would be ambiguous, so such cones are never cached).
+    """
+    labels: List[str] = []
+    uids: List[int] = []
+    label_pos: Dict[str, int] = {}
+    uid_pos: Dict[int, int] = {}
+    stack = [uid]
+    while stack:
+        node = network.node(stack.pop())
+        if node.type is NodeType.PI:
+            if node.label in label_pos:
+                return None
+            label_pos[node.label] = len(labels)
+            labels.append(node.label)
+        else:
+            uid_pos[node.uid] = len(uids)
+            uids.append(node.uid)
+            stack.extend(reversed(node.fanins))
+    return labels, uids, label_pos, uid_pos
+
+
+def _abstract_structure(structure: Pulldown, label_pos, uid_pos):
+    if isinstance(structure, Leaf):
+        if structure.is_primary:
+            pos = label_pos.get(structure.signal)
+            if pos is None:
+                return None
+            return Leaf(str(pos), is_primary=True)
+        pos = uid_pos.get(structure.source_gate)
+        if pos is None:
+            return None
+        return Leaf(str(pos), is_primary=False, source_gate=pos)
+    children = []
+    for child in structure.children:
+        templated = _abstract_structure(child, label_pos, uid_pos)
+        if templated is None:
+            return None
+        children.append(templated)
+    return type(structure)(tuple(children))
+
+
+def _instantiate_structure(structure: Pulldown, labels, uids) -> Pulldown:
+    if isinstance(structure, Leaf):
+        if structure.is_primary:
+            return Leaf(labels[int(structure.signal)], is_primary=True)
+        gate_uid = uids[structure.source_gate]
+        return Leaf(f"g{gate_uid}", is_primary=False, source_gate=gate_uid)
+    return type(structure)(tuple(_instantiate_structure(c, labels, uids)
+                                 for c in structure.children))
+
+
+def _copy_tuple(t: MapTuple, structure: Pulldown) -> MapTuple:
+    return MapTuple(width=t.width, height=t.height, wcost=t.wcost,
+                    trans=t.trans, disch=t.disch, levels=t.levels,
+                    p_dis=t.p_dis, par_b=t.par_b, has_pi=t.has_pi,
+                    structure=structure, p_tail=t.p_tail)
+
+
+def _abstract(t: MapTuple, label_pos, uid_pos) -> Optional[MapTuple]:
+    structure = _abstract_structure(t.structure, label_pos, uid_pos)
+    if structure is None:
+        return None
+    return _copy_tuple(t, structure)
+
+
+def _instantiate(t: MapTuple, labels, uids) -> MapTuple:
+    return _copy_tuple(t, _instantiate_structure(t.structure, labels, uids))

@@ -1,0 +1,98 @@
+"""Engine instrumentation: counters surfaced on ``MappingResult.stats``.
+
+A :class:`MappingStats` object rides along one :class:`MappingEngine` run
+and counts the events that dominate mapping cost: DP tuples created and
+pruned, combine calls, gate formations, tree-cache hits/misses, and
+per-node wall time.  The counters are plain integers/floats so a stats
+object pickles cleanly across the :class:`~repro.pipeline.BatchRunner`
+process pool and merges cheaply when aggregating a sweep.
+
+This module intentionally has no intra-package imports: the mapping
+engine imports it, and the pipeline package re-exports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class MappingStats:
+    """Counters for one mapping run (or an aggregate of several).
+
+    Attributes
+    ----------
+    tuples_created:
+        DP sub-solutions produced by ``combine_or``/``combine_and``.
+    tuples_pruned:
+        Candidates rejected at table insertion (dominated or beaten by
+        the incumbent of their ``{W, H}`` slot).
+    combine_calls:
+        Fanin-pair combinations attempted (each may yield 0-2 tuples).
+    gate_formations:
+        Formed-gate records built (one per processed node, including
+        nodes restored from the tree cache).
+    cache_hits, cache_misses:
+        Tree-cache outcomes for cache-eligible nodes; both stay zero when
+        no cache is attached or the cache is disabled.
+    nodes_processed:
+        AND/OR nodes the DP visited.
+    node_time_s, max_node_time_s:
+        Total and worst single-node wall time spent in the per-node DP.
+    """
+
+    tuples_created: int = 0
+    tuples_pruned: int = 0
+    combine_calls: int = 0
+    gate_formations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    nodes_processed: int = 0
+    node_time_s: float = 0.0
+    max_node_time_s: float = 0.0
+
+    @property
+    def tuples_kept(self) -> int:
+        return self.tuples_created - self.tuples_pruned
+
+    @property
+    def cache_requests(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache-eligible lookups (0.0 when none were made)."""
+        requests = self.cache_requests
+        return self.cache_hits / requests if requests else 0.0
+
+    def merge(self, other: "MappingStats") -> "MappingStats":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        for f in fields(self):
+            if f.name == "max_node_time_s":
+                self.max_node_time_s = max(self.max_node_time_s,
+                                           other.max_node_time_s)
+            else:
+                setattr(self, f.name,
+                        getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        data: Dict[str, float] = {f.name: getattr(self, f.name)
+                                  for f in fields(self)}
+        data["cache_hit_rate"] = self.cache_hit_rate
+        return data
+
+    def summary(self) -> str:
+        """One-line human-readable rendering (CLI output)."""
+        parts = [
+            f"tuples={self.tuples_created}",
+            f"pruned={self.tuples_pruned}",
+            f"combines={self.combine_calls}",
+            f"gates={self.gate_formations}",
+        ]
+        if self.cache_requests:
+            parts.append(f"cache={self.cache_hits}/{self.cache_requests}"
+                         f" ({100.0 * self.cache_hit_rate:.0f}%)")
+        parts.append(f"dp_time={self.node_time_s:.3f}s")
+        return " ".join(parts)

@@ -1,0 +1,301 @@
+"""Batch mapping pipeline: fan a work-list of mapping tasks out.
+
+A :class:`BatchTask` names one mapping run — circuit, flow preset, cost
+model, :class:`~repro.mapping.engine.MapperConfig` — by value, so tasks
+pickle across a :class:`concurrent.futures.ProcessPoolExecutor`.
+:class:`BatchRunner` executes a list of them with
+
+* **parallel fan-out** across a process pool (``max_workers`` processes,
+  each owning a private :class:`~repro.pipeline.TreeCache` so repeated
+  tree shapes are mapped once per worker),
+* **per-task timeouts** and **bounded retries** for infrastructure
+  failures (a hung or crashed worker), and
+* **graceful degradation**: ``max_workers=1`` — or a broken pool, or a
+  task that exhausted its retries — runs in-process serially with the
+  runner's own shared cache, so a sweep always completes.
+
+Workers return :class:`BatchResult` values: the circuit *cost* and a
+netlist digest (not the circuit object — a mapped c7552 is megabytes),
+the run's :class:`~repro.pipeline.MappingStats`, wall time, and the
+error string for failed tasks.  Results come back in task order and are
+bit-identical between pool and serial execution: each task is a
+deterministic function of its fields, and cache reuse reconstructs DP
+tables exactly (see ``pipeline/cache.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..domino.circuit import CircuitCost
+from ..mapping import CostModel, MapperConfig, map_network
+from ..mapping.flows import FLOW_PRESETS
+from .cache import TreeCache
+from .metrics import MappingStats
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of batch work, picklable by construction.
+
+    ``circuit`` is a benchmark-registry name or a path to a
+    ``.bench``/``.blif``/``.pla`` file — resolved inside the worker, so
+    only strings and small configs cross the process boundary.
+    """
+
+    circuit: str
+    flow: str = "soi"
+    cost_model: Optional[CostModel] = None
+    config: Optional[MapperConfig] = None
+
+    @property
+    def label(self) -> str:
+        model = self.cost_model.name if self.cost_model is not None else "area"
+        return f"{self.circuit}/{self.flow}/{model}"
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one task (success or failure)."""
+
+    task: BatchTask
+    cost: Optional[CircuitCost] = None
+    stats: Optional[MappingStats] = None
+    #: sha256 of the mapped transistor netlist (bit-identity witness)
+    digest: Optional[str] = None
+    elapsed_s: float = 0.0
+    error: Optional[str] = None
+    #: "pool", "serial", or "serial-fallback" (pool gave up on this task)
+    mode: str = "serial"
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchReport:
+    """All results of one :meth:`BatchRunner.run`, in task order."""
+
+    results: List[BatchResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    mode: str = "serial"
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[BatchResult]:
+        return [r for r in self.results if not r.ok]
+
+    def total_stats(self) -> MappingStats:
+        total = MappingStats()
+        for r in self.results:
+            if r.stats is not None:
+                total.merge(r.stats)
+        return total
+
+    @property
+    def task_time_s(self) -> float:
+        """Summed per-task wall time (serial-equivalent work)."""
+        return sum(r.elapsed_s for r in self.results)
+
+    def __repr__(self) -> str:
+        done = sum(1 for r in self.results if r.ok)
+        return (f"BatchReport({done}/{len(self.results)} ok, "
+                f"wall={self.wall_s:.2f}s, mode={self.mode!r})")
+
+
+# ---------------------------------------------------------------------------
+# task execution (top-level functions so the process pool can import them)
+# ---------------------------------------------------------------------------
+def _load_network(source: str):
+    from ..bench_suite import load_circuit
+    from ..io import load_bench, load_blif, load_pla
+
+    if source.endswith(".bench"):
+        return load_bench(source)
+    if source.endswith(".blif"):
+        return load_blif(source)
+    if source.endswith(".pla"):
+        return load_pla(source)
+    return load_circuit(source)
+
+
+def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
+                 mode: str = "serial") -> BatchResult:
+    """Run one task to completion; failures become error results."""
+    started = time.perf_counter()
+    try:
+        network = _load_network(task.circuit)
+        result = map_network(network, flow=task.flow,
+                             cost_model=task.cost_model,
+                             config=task.config, cache=cache)
+        from ..io import circuit_netlist
+
+        digest = hashlib.sha256(
+            circuit_netlist(result.circuit).encode()).hexdigest()
+        return BatchResult(task=task, cost=result.cost, stats=result.stats,
+                           digest=digest,
+                           elapsed_s=time.perf_counter() - started,
+                           mode=mode)
+    except Exception as exc:  # noqa: BLE001 - one bad task must not kill a sweep
+        return BatchResult(task=task, error=f"{type(exc).__name__}: {exc}",
+                           elapsed_s=time.perf_counter() - started,
+                           mode=mode)
+
+
+#: Per-worker-process cache, installed by the pool initializer.
+_WORKER_CACHE: Optional[TreeCache] = None
+
+
+def _init_worker(cache_enabled: bool) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = TreeCache() if cache_enabled else None
+
+
+def _pool_execute(task: BatchTask) -> BatchResult:
+    return execute_task(task, cache=_WORKER_CACHE, mode="pool")
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+class BatchRunner:
+    """Execute batch mapping tasks, in parallel where possible.
+
+    Parameters
+    ----------
+    max_workers:
+        Process-pool width; ``None`` uses the CPU count, ``1`` runs
+        serially in-process (no pool at all).
+    timeout_s:
+        Per-task result deadline in pool mode; a task that misses it is
+        retried and finally degraded to in-process execution.  ``None``
+        waits forever.  (Serial execution cannot enforce timeouts.)
+    retries:
+        Resubmissions allowed per task for infrastructure failures
+        (timeout, worker crash) before degrading to serial.
+    use_cache:
+        Attach :class:`TreeCache` memoization — the runner's shared
+        cache in serial mode, one private cache per pool worker.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 use_cache: bool = True,
+                 cache: Optional[TreeCache] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.max_workers = max_workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.use_cache = use_cache or cache is not None
+        self.cache = cache if cache is not None else (
+            TreeCache() if use_cache else None)
+
+    # -- task construction ----------------------------------------------
+    @staticmethod
+    def sweep_tasks(circuits: Optional[Sequence[str]] = None,
+                    flows: Sequence[str] = ("soi",),
+                    cost_models: Sequence[Optional[CostModel]] = (None,),
+                    config: Optional[MapperConfig] = None) -> List[BatchTask]:
+        """Cross product of circuits x flows x cost models.
+
+        ``circuits=None`` takes the full benchmark registry.
+        """
+        from ..bench_suite import circuit_names
+
+        names = list(circuits) if circuits else circuit_names()
+        return [BatchTask(circuit=name, flow=flow, cost_model=model,
+                          config=config)
+                for name in names
+                for flow in flows
+                for model in cost_models]
+
+    # -- execution -------------------------------------------------------
+    def run(self, tasks: Iterable[BatchTask]) -> BatchReport:
+        """Run every task; the report lists results in task order."""
+        tasks = list(tasks)
+        for task in tasks:
+            if task.flow not in FLOW_PRESETS:
+                raise ValueError(
+                    f"task {task.label!r}: unknown flow {task.flow!r}; "
+                    f"expected one of {', '.join(FLOW_PRESETS)}")
+        started = time.perf_counter()
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, max(1, len(tasks)))
+        if workers == 1 or not tasks:
+            results = [execute_task(t, cache=self.cache) for t in tasks]
+            mode = "serial"
+        else:
+            results = self._run_pool(tasks, workers)
+            mode = "pool"
+        return BatchReport(results=results,
+                           wall_s=time.perf_counter() - started, mode=mode)
+
+    def run_serial(self, tasks: Iterable[BatchTask]) -> BatchReport:
+        """Force in-process serial execution (shared cache, no pool)."""
+        tasks = list(tasks)
+        started = time.perf_counter()
+        results = [execute_task(t, cache=self.cache) for t in tasks]
+        return BatchReport(results=results,
+                           wall_s=time.perf_counter() - started,
+                           mode="serial")
+
+    def _run_pool(self, tasks: List[BatchTask],
+                  workers: int) -> List[BatchResult]:
+        results: dict = {}
+        attempts = dict.fromkeys(range(len(tasks)), 1)
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(self.use_cache,)) as pool:
+                inflight = deque(
+                    (i, pool.submit(_pool_execute, tasks[i]))
+                    for i in range(len(tasks)))
+                while inflight:
+                    index, future = inflight.popleft()
+                    try:
+                        result = future.result(timeout=self.timeout_s)
+                        result.attempts = attempts[index]
+                        results[index] = result
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        if attempts[index] <= self.retries:
+                            attempts[index] += 1
+                            inflight.append(
+                                (index, pool.submit(_pool_execute,
+                                                    tasks[index])))
+                        # else: left unfinished -> serial fallback below
+                    except BrokenExecutor:
+                        raise
+                    except Exception:
+                        # submission/pickling failure for this future
+                        if attempts[index] <= self.retries:
+                            attempts[index] += 1
+                            inflight.append(
+                                (index, pool.submit(_pool_execute,
+                                                    tasks[index])))
+        except (BrokenExecutor, OSError):
+            # the pool itself died: everything unfinished degrades
+            pass
+        for index in range(len(tasks)):
+            if index not in results:
+                result = execute_task(tasks[index], cache=self.cache,
+                                      mode="serial-fallback")
+                result.attempts = attempts[index]
+                results[index] = result
+        return [results[i] for i in range(len(tasks))]

@@ -8,7 +8,7 @@ Python integers are arbitrary precision).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List
 
 from ..errors import SimulationError
 from ..network import LogicNetwork, NodeType

@@ -1,6 +1,5 @@
 """Functional correctness of the benchmark-circuit generators."""
 
-import itertools
 import random
 
 import pytest

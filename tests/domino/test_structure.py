@@ -4,7 +4,6 @@ import pytest
 
 from repro.domino import (
     Leaf,
-    Parallel,
     Series,
     check_limits,
     gate_leaf_refs,

@@ -1,6 +1,5 @@
 """Tests for the Elmore delay estimator."""
 
-import pytest
 
 from repro.domino import (
     DominoGate,

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.evaluation import (
     paper_data,

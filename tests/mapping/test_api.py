@@ -1,0 +1,120 @@
+"""The 1.1 flow API: presets, config routing, deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro import (
+    FLOW_PRESETS,
+    ClockWeightedCost,
+    CostModel,
+    FlowResult,
+    MapperConfig,
+    MappingError,
+    domino_map,
+    flow_config,
+    map_network,
+    rs_map,
+    soi_domino_map,
+)
+from repro.bench_suite import load_circuit
+from repro.io import circuit_netlist
+
+
+def _same(a, b):
+    return (a.cost == b.cost
+            and circuit_netlist(a.circuit) == circuit_netlist(b.circuit))
+
+
+class TestUnifiedEntryPoint:
+    @pytest.mark.parametrize("name,preset", [
+        ("domino", domino_map), ("rs", rs_map), ("soi", soi_domino_map)])
+    def test_presets_are_thin_wrappers(self, name, preset):
+        net = load_circuit("mux")
+        via_flow = map_network(net, flow=name)
+        via_preset = preset(net)
+        assert via_flow.flow == via_preset.flow == name
+        assert _same(via_flow, via_preset)
+
+    def test_default_flow_is_paper_config(self):
+        net = load_circuit("cm150")
+        assert _same(map_network(net), map_network(net, flow="soi"))
+
+    def test_unknown_flow_raises_mapping_error(self):
+        with pytest.raises(MappingError, match="unknown flow 'cmos'"):
+            map_network(load_circuit("mux"), flow="cmos")
+        with pytest.raises(MappingError, match="expected one of"):
+            flow_config("static")
+
+    def test_flow_pins_only_defining_fields(self):
+        config = MapperConfig(w_max=3, h_max=4, pareto=True)
+        effective = flow_config("domino", config)
+        assert effective.pbe_aware is False  # pinned by the preset
+        assert effective.ordering == "adverse"
+        assert effective.w_max == 3 and effective.h_max == 4  # preserved
+        assert effective.pareto is True
+        # and flow=None takes the config verbatim
+        assert flow_config(None, config) == config
+
+    def test_returns_flow_result(self):
+        result = map_network(load_circuit("mux"), flow="rs")
+        assert isinstance(result, FlowResult)
+        assert result.config.rearrange_gates is True
+        assert result.cost.t_total > 0
+        assert result.stats.gate_formations >= len(result.circuit.gates)
+
+    def test_presets_table_is_exported(self):
+        assert set(FLOW_PRESETS) == {"domino", "rs", "soi"}
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize("kwarg,value,field", [
+        ("ordering", "naive", "ordering"),
+        ("ground_policy", "pessimistic", "ground_policy"),
+        ("pareto", True, "pareto"),
+        ("duplication", False, "duplication"),
+    ])
+    def test_legacy_soi_kwargs_warn_and_match_config(self, kwarg, value,
+                                                     field):
+        net = load_circuit("cm150")
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            legacy = soi_domino_map(net, **{kwarg: value})
+        modern = soi_domino_map(net, config=MapperConfig(**{field: value}))
+        assert getattr(legacy.config, field) == value
+        assert _same(legacy, modern)
+
+    def test_legacy_positional_cost_model_warns_and_matches(self):
+        net = load_circuit("mux")
+        model = ClockWeightedCost(2.0)
+        with pytest.warns(DeprecationWarning, match="cost_model"):
+            legacy = map_network(net, model)  # pre-1.1 signature
+        assert _same(legacy, map_network(net, cost_model=model))
+
+    def test_unknown_soi_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            soi_domino_map(load_circuit("mux"), orderng="naive")
+
+    def test_modern_calls_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            map_network(load_circuit("mux"), flow="soi",
+                        cost_model=CostModel(),
+                        config=MapperConfig(ordering="naive"))
+            soi_domino_map(load_circuit("mux"),
+                           config=MapperConfig(pareto=True))
+
+
+class TestEagerValidation:
+    def test_bad_ordering_rejected_at_construction(self):
+        with pytest.raises(MappingError, match="alphabetical"):
+            MapperConfig(ordering="alphabetical")
+
+    def test_bad_ground_policy_rejected_at_construction(self):
+        with pytest.raises(MappingError, match="grounded"):
+            MapperConfig(ground_policy="grounded")
+
+    def test_message_lists_valid_options(self):
+        with pytest.raises(MappingError, match="expected one of"):
+            MapperConfig(ordering="bogus")
+        with pytest.raises(MappingError, match="expected one of"):
+            MapperConfig(ground_policy="bogus")

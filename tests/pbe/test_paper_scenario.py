@@ -8,7 +8,6 @@ outputs 1 where it should output 0.  A p-discharge transistor at the
 stack node, or the SOI reordering that grounds the stack, prevents it.
 """
 
-import pytest
 
 from repro.domino import DominoCircuit, DominoGate, Leaf, parallel, series
 from repro.pbe import PBEModelConfig, PBESimulator

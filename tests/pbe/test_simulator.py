@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench_suite import multiplexer
 from repro.errors import SimulationError
-from repro.domino import DominoCircuit, DominoGate, Leaf, parallel, series
+from repro.domino import DominoCircuit, DominoGate
 from repro.mapping import domino_map, rs_map, soi_domino_map
 from repro.network import network_from_expression
 from repro.pbe import PBESimulator, random_stress

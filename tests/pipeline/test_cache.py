@@ -1,0 +1,143 @@
+"""TreeCache: bit-identical reuse, hit accounting, bypass switch."""
+
+import pytest
+
+from repro import (
+    ClockWeightedCost,
+    DepthCost,
+    MapperConfig,
+    TreeCache,
+    domino_map,
+    map_network,
+    rs_map,
+    soi_domino_map,
+)
+from repro.bench_suite import load_circuit
+from repro.io import circuit_netlist
+from repro.network import network_from_expression
+
+CIRCUITS = ["cm150", "mux", "z4ml", "9symml"]
+
+
+def _netlists(flow, name, **kwargs):
+    result = flow(load_circuit(name), **kwargs)
+    return result.cost, circuit_netlist(result.circuit)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", CIRCUITS)
+    @pytest.mark.parametrize("flow", [domino_map, rs_map, soi_domino_map])
+    def test_cache_on_equals_cache_off(self, flow, name):
+        cache = TreeCache()
+        cold_cost, cold_netlist = _netlists(flow, name)
+        warm1 = _netlists(flow, name, cache=cache)
+        warm2 = _netlists(flow, name, cache=cache)  # all-hits rerun
+        assert warm1 == (cold_cost, cold_netlist)
+        assert warm2 == (cold_cost, cold_netlist)
+
+    def test_cost_model_fingerprints_do_not_cross_contaminate(self):
+        cache = TreeCache()
+        for model in (None, ClockWeightedCost(2.0), DepthCost()):
+            cached = map_network(load_circuit("z4ml"), flow="soi",
+                                 cost_model=model, cache=cache)
+            plain = map_network(load_circuit("z4ml"), flow="soi",
+                                cost_model=model)
+            assert cached.cost == plain.cost
+            assert (circuit_netlist(cached.circuit)
+                    == circuit_netlist(plain.circuit))
+
+    def test_config_fingerprints_do_not_cross_contaminate(self):
+        cache = TreeCache()
+        for config in (MapperConfig(w_max=2, h_max=2),
+                       MapperConfig(w_max=5, h_max=8),
+                       MapperConfig(ordering="naive"),
+                       MapperConfig(pareto=True)):
+            cached = map_network(load_circuit("cm150"), config=config,
+                                 cache=cache)
+            plain = map_network(load_circuit("cm150"), config=config)
+            assert cached.cost == plain.cost
+            assert (circuit_netlist(cached.circuit)
+                    == circuit_netlist(plain.circuit))
+
+
+class TestAccounting:
+    def test_repeat_run_hits(self):
+        cache = TreeCache()
+        first = soi_domino_map(load_circuit("9symml"), cache=cache)
+        assert cache.stores > 0
+        second = soi_domino_map(load_circuit("9symml"), cache=cache)
+        assert second.stats.cache_hits > 0
+        assert second.stats.cache_hits >= first.stats.cache_hits
+        assert cache.hits >= second.stats.cache_hits
+        assert 0.0 < cache.hit_rate <= 1.0
+        stats = cache.stats()
+        assert stats["entries"] == len(cache)
+        assert stats["hits"] == cache.hits
+
+    def test_shapes_shared_across_circuits(self):
+        # c499 and c1355 implement the same function with different
+        # structures; mux trees repeat shapes heavily — a shared cache
+        # must hit across circuits, not only within one.
+        cache = TreeCache()
+        soi_domino_map(load_circuit("cm150"), cache=cache)
+        crossed = soi_domino_map(load_circuit("mux"), cache=cache)
+        assert crossed.stats.cache_hits > 0
+
+    def test_skips_dp_work_on_hits(self):
+        cache = TreeCache()
+        cold = soi_domino_map(load_circuit("mux"))
+        soi_domino_map(load_circuit("mux"), cache=cache)
+        warm = soi_domino_map(load_circuit("mux"), cache=cache)
+        assert warm.stats.tuples_created < cold.stats.tuples_created
+        assert warm.stats.combine_calls < cold.stats.combine_calls
+
+    def test_clear_resets(self):
+        cache = TreeCache()
+        soi_domino_map(load_circuit("mux"), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == cache.stores == 0
+
+
+class TestBypass:
+    def test_disabled_cache_never_hits_or_stores(self):
+        cache = TreeCache(enabled=False)
+        result = soi_domino_map(load_circuit("mux"), cache=cache)
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert result.stats.cache_requests == 0
+        assert result.cost == soi_domino_map(load_circuit("mux")).cost
+
+    def test_disable_after_warmup_is_correctness_preserving(self):
+        cache = TreeCache()
+        soi_domino_map(load_circuit("mux"), cache=cache)
+        cache.enabled = False
+        bypassed = soi_domino_map(load_circuit("mux"), cache=cache)
+        assert bypassed.stats.cache_requests == 0
+        assert bypassed.cost == soi_domino_map(load_circuit("mux")).cost
+
+    def test_max_entries_cap_stops_stores(self):
+        cache = TreeCache(max_entries=1)
+        soi_domino_map(load_circuit("mux"), cache=cache)
+        assert len(cache) <= 1
+        assert cache.skipped > 0
+
+
+class TestEligibility:
+    def test_repeated_pi_leaf_not_cached_but_correct(self):
+        # (a*b)+(a*c): the shared PI 'a' makes cones ambiguous for
+        # positional relabeling — they must be skipped, not mis-reused.
+        cache = TreeCache()
+        net = network_from_expression("(a * b) + (a * c)", name="sharedpi")
+        first = map_network(net, flow="soi", cache=cache)
+        net2 = network_from_expression("(a * b) + (a * c)", name="sharedpi")
+        second = map_network(net2, flow="soi", cache=cache)
+        assert first.cost == second.cost
+        assert (circuit_netlist(first.circuit)
+                == circuit_netlist(second.circuit))
+
+    def test_multi_fanout_interior_not_eligible(self):
+        cache = TreeCache()
+        sigs = cache.signatures(load_circuit("z4ml"))
+        assert any(sig is None for sig in sigs.values())
+        assert any(sig is not None for sig in sigs.values())

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.bench_suite import alu, load_circuit
-from repro.network import LogicNetwork, network_from_expression
+from repro.bench_suite import load_circuit
+from repro.network import network_from_expression
 from repro.synth import (
     check_phase_assignment,
     decompose,

@@ -43,6 +43,24 @@ def test_map_dot_flag(capsys):
     assert "digraph" in capsys.readouterr().out
 
 
+def test_batch_sweep(capsys):
+    assert main(["batch", "cm150", "mux", "-a", "domino", "-a", "soi",
+                 "--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "batch: 4 tasks" in out
+    assert "T_total" in out
+    assert "totals:" in out
+    assert "wall:" in out
+
+
+def test_batch_failure_exits_nonzero(capsys):
+    assert main(["batch", "mux", "not-a-circuit", "-j", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED" in captured.err
+    assert "not-a-circuit" in captured.err
+    assert "mux" in captured.out  # good task still reported
+
+
 def test_tables_subset(capsys):
     assert main(["tables", "-t", "table1", "--circuits", "cm150", "mux"]) == 0
     out = capsys.readouterr().out
