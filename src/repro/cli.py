@@ -49,8 +49,16 @@ def _cost_model(cost: str, k: float):
 def _cmd_map(args) -> int:
     network = _load_network(args.circuit)
     model = _cost_model(args.cost, args.k)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = map_network(network, flow=args.algorithm, cost_model=model,
                          w_max=args.w_max, h_max=args.h_max)
+    if profiler is not None:
+        profiler.disable()
     cost = result.cost
     print(f"circuit:   {network.name}")
     print(f"input:     {network_stats(network)}")
@@ -67,6 +75,13 @@ def _cmd_map(args) -> int:
         print(circuit_netlist(result.circuit))
     if args.dot:
         print(circuit_to_dot(result.circuit))
+    if profiler is not None:
+        import pstats
+
+        print(f"\nprofile:   top 20 by cumulative time "
+              f"({result.stats.summary()})")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
     return 0
 
 
@@ -109,6 +124,77 @@ def _cmd_batch(args) -> int:
         print(f"FAILED:    {failure.task.label}: {failure.error}",
               file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    from .evaluation.formats import render_table
+    from .pipeline.bench import (attach_baseline, load_payload, run_bench,
+                                 validate_payload, write_payload)
+
+    if args.check:
+        try:
+            payload = load_payload(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.check}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: valid {payload['schema']} payload, "
+                  f"{payload['aggregate']['tasks']} tasks, "
+                  f"task_time={payload['aggregate']['task_time_s']:.2f}s")
+        return 0 if not problems else 1
+
+    payload = run_bench(circuits=args.circuits or None,
+                        flows=args.algorithm or ["soi"],
+                        orderings=args.orderings,
+                        modes=args.modes,
+                        jobs=args.jobs,
+                        use_cache=args.cache,
+                        repeat=args.repeat)
+    if args.baseline:
+        try:
+            baseline = load_payload(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        attach_baseline(payload, baseline)
+
+    headers = ["circuit", "flow", "ordering", "mode", "time_s",
+               "tuples", "ktuples/s", "combines", "digest"]
+    rows = []
+    for r in payload["results"]:
+        rows.append([r["circuit"], r["flow"], r["ordering"], r["table_mode"],
+                     f"{r['elapsed_s']:.3f}" if r["ok"] else "-",
+                     r["tuples"], f"{r['tuples_per_s'] / 1e3:.0f}",
+                     r["combines"],
+                     (r["digest"] or "-")[:12]])
+    aggregate = payload["aggregate"]
+    print(render_table(headers, rows,
+                       title=f"bench: {aggregate['tasks']} tasks, "
+                             f"repeat={args.repeat}, "
+                             f"cache={'on' if args.cache else 'off'}"))
+    print(f"\naggregate: task_time={aggregate['task_time_s']:.2f}s "
+          f"tuples={aggregate['tuples']} "
+          f"({aggregate['tuples_per_s'] / 1e3:.0f}k tuples/s) "
+          f"tuple_heavy={aggregate['tuple_heavy_task_time_s']:.2f}s "
+          f"failures={aggregate['failures']}")
+    if "baseline" in payload:
+        base = payload["baseline"]
+
+        def fmt(x):
+            return f"{x:.2f}x" if x else "n/a"
+
+        print(f"baseline:  speedup={fmt(base['speedup'])} "
+              f"tuple_heavy={fmt(base['tuple_heavy_speedup'])}")
+    problems = validate_payload(payload)
+    for problem in problems:
+        print(f"invalid: {problem}", file=sys.stderr)
+    write_payload(payload, args.output)
+    print(f"wrote:     {args.output}")
+    return 1 if (problems or aggregate["failures"]) else 0
 
 
 def _cmd_tables(args) -> int:
@@ -162,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the SPICE-style transistor netlist")
     p_map.add_argument("--dot", action="store_true",
                        help="print the mapped circuit as Graphviz DOT")
+    p_map.add_argument("--profile", action="store_true",
+                       help="run the mapping under cProfile and print the "
+                            "top-20 cumulative entries")
     p_map.set_defaults(func=_cmd_map)
 
     p_batch = sub.add_parser(
@@ -187,6 +276,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--serial", action="store_true",
                          help="force in-process serial execution")
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the mapping kernel and write "
+                      "BENCH_mapping.json")
+    p_bench.add_argument("circuits", nargs="*",
+                         help="benchmark names (default: full suite)")
+    p_bench.add_argument("-a", "--algorithm", action="append",
+                         choices=_FLOW_CHOICES,
+                         help="flow to sweep (repeatable; default: soi)")
+    p_bench.add_argument("--orderings", nargs="+",
+                         choices=["paper", "naive", "adverse", "exhaustive"],
+                         default=["paper", "exhaustive"],
+                         help="series orderings to sweep")
+    p_bench.add_argument("--modes", nargs="+", choices=["single", "pareto"],
+                         default=["single", "pareto"],
+                         help="tuple-table modes to sweep")
+    p_bench.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes (default 1: serial, the "
+                              "stable-timing mode)")
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="sweep repetitions; per-task time is the min")
+    p_bench.add_argument("--cache", action="store_true",
+                         help="enable the tree cache (off by default so "
+                              "tasks time the raw DP kernel)")
+    p_bench.add_argument("-o", "--output", default="BENCH_mapping.json",
+                         help="payload path (default: BENCH_mapping.json)")
+    p_bench.add_argument("--baseline",
+                         help="previous payload to embed and compare "
+                              "speedup against")
+    p_bench.add_argument("--check", metavar="PAYLOAD",
+                         help="validate an existing payload's schema and "
+                              "exit (runs no benchmark)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_tab = sub.add_parser("tables", help="reproduce the paper's tables")
     p_tab.add_argument("-t", "--table", action="append",

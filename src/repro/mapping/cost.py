@@ -61,9 +61,26 @@ class CostModel:
         return _STATIC_OVERHEAD + self.k_clock * clock_devices
 
     # -- selection keys --------------------------------------------------
+    def tuple_key_metrics(self, wcost: float, levels: int) -> float:
+        """Selection key from raw scalars, before any tuple exists.
+
+        The engine's hot loop prices a candidate from its scalar metrics
+        and asks the table whether it would even be kept — skipping the
+        allocation of dominated candidates entirely.  Subclasses that
+        change the objective override *this* method; :meth:`tuple_key`
+        delegates here, so the two can never disagree.
+        """
+        return wcost
+
     def tuple_key(self, t: MapTuple) -> float:
-        """Comparable key for choosing among tuples (lower is better)."""
-        return t.wcost
+        """Comparable key for choosing among tuples (lower is better).
+
+        Overriding this directly (instead of :meth:`tuple_key_metrics`)
+        still works but disables the engine's scalar fast path, which
+        only trusts the metric form when ``tuple_key`` is the base-class
+        delegation.
+        """
+        return self.tuple_key_metrics(t.wcost, t.levels)
 
     def gate_key(self, wcost: float, levels: int) -> float:
         """Comparable key for choosing the tuple a gate is formed from."""
@@ -127,8 +144,8 @@ class DepthCost(CostModel):
             raise ValueError(f"level_weight must be positive, got {level_weight}")
         self.level_weight = float(level_weight)
 
-    def tuple_key(self, t: MapTuple) -> float:
-        return self.level_weight * t.levels + t.wcost
+    def tuple_key_metrics(self, wcost: float, levels: int) -> float:
+        return self.level_weight * levels + wcost
 
     def gate_key(self, wcost: float, levels: int) -> float:
         return self.level_weight * levels + wcost

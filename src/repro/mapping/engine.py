@@ -33,13 +33,14 @@ Discharge transistors:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import astuple, dataclass, field
 from typing import Dict, List, Optional
 
 from ..domino.circuit import CircuitCost, DominoCircuit
 from ..domino.gate import DominoGate
 from ..domino.rearrange import rearrange
-from ..domino.structure import Leaf, Pulldown, parallel, series
+from ..domino.structure import Leaf, Pulldown
 from ..errors import MappingError
 from ..network import LogicNetwork, NodeType
 from ..pipeline.metrics import MappingStats
@@ -144,15 +145,21 @@ class MappingResult:
     cost_model: CostModel
     #: mapping-node id -> GateRecord for every *materialized* gate
     gate_records: Dict[int, GateRecord] = field(default_factory=dict)
-    #: number of DP tuples created (profiling/regression metric; mirrors
-    #: ``stats.tuples_created``)
-    tuples_created: int = 0
     #: full instrumentation counters for this run
     stats: MappingStats = field(default_factory=MappingStats)
 
     @property
     def cost(self) -> CircuitCost:
         return self.circuit.cost()
+
+    @property
+    def tuples_created(self) -> int:
+        """Deprecated alias for ``stats.tuples_created``."""
+        warnings.warn(
+            "MappingResult.tuples_created is deprecated; read "
+            "result.stats.tuples_created instead", DeprecationWarning,
+            stacklevel=2)
+        return self.stats.tuples_created
 
 
 class MappingEngine:
@@ -187,6 +194,17 @@ class MappingEngine:
         self._forced: Dict[int, bool] = {}
         self._signatures: Dict[int, Optional[int]] = {}
         self._cache_prefix: Optional[tuple] = None
+        #: memoized per-node fanin views (a multi-fanout node's table is
+        #: listed once, not once per consumer)
+        self._views: Dict[int, List[MapTuple]] = {}
+        # Scalar fast path: candidates are priced from raw metrics and
+        # bound-checked before any MapTuple is allocated.  Only sound
+        # when tuple_key is the base-class delegation to
+        # tuple_key_metrics; a model overriding tuple_key directly falls
+        # back to the allocate-then-insert path.
+        self._metric_key = (
+            cost_model.tuple_key_metrics
+            if type(cost_model).tuple_key is CostModel.tuple_key else None)
 
     # ------------------------------------------------------------------
     # leaf tuples
@@ -231,104 +249,308 @@ class MappingEngine:
     # ------------------------------------------------------------------
     # combination
     # ------------------------------------------------------------------
-    def _combine_or(self, a: MapTuple, b: MapTuple) -> Optional[MapTuple]:
-        width = a.width + b.width
-        height = max(a.height, b.height)
-        if width > self.config.w_max or height > self.config.h_max:
-            return None
-        p_dis = (a.p_dis + b.p_dis) if self.config.pbe_aware else 0
-        return MapTuple(
-            width=width, height=height,
-            wcost=a.wcost + b.wcost,
-            trans=a.trans + b.trans,
-            disch=a.disch + b.disch,
-            levels=max(a.levels, b.levels),
-            p_dis=p_dis,
-            # inside a parallel stack every potential point rides on the
-            # stack's shared bottom node: all of them are "tail" points
-            p_tail=p_dis,
-            par_b=True,
-            has_pi=a.has_pi or b.has_pi,
-            structure=parallel(a.structure, b.structure),
-        )
+    # _combine_into is the DP kernel and is deliberately written flat:
+    # configuration, cost prices, and the table's slot map are bound to
+    # locals once per node, the fanin view is pre-filtered per {W,H}
+    # budget so the inner loop touches only feasible pairs, and a
+    # candidate's scalar metrics are priced and bound-checked against the
+    # slot incumbent *before* any MapTuple is allocated.  Survivors are
+    # allocated lazily: a provenance back-pointer (op/left/right) instead
+    # of a built structure tree.
+    #
+    # Bit-identity with the eager kernel is load-bearing and rests on
+    # three invariants: (1) feasible pairs are visited in exactly the
+    # original view order (the pre-filtered lists preserve relative
+    # order), (2) the keep/evict decisions are literal transcriptions of
+    # TupleTable.insert, and (3) a slot list is only created when its
+    # first candidate is kept, so slot insertion order — which the tree
+    # cache serializes — is unchanged.
 
-    def _combine_and_ordered(self, top: MapTuple,
-                             bottom: MapTuple) -> Optional[MapTuple]:
-        width = max(top.width, bottom.width)
-        height = top.height + bottom.height
-        if width > self.config.w_max or height > self.config.h_max:
-            return None
-        if self.config.pbe_aware:
-            if top.par_b:
-                # The new junction is the never-grounded bottom node of
-                # the top's trailing parallel stack: discharge it and the
-                # stack's internal (tail) points now.  The top's spine
-                # junctions keep their own classification.
-                committed = top.p_tail + 1
-                p_dis = (top.p_dis - top.p_tail) + bottom.p_dis
-            else:
-                # Series-ending top: the junction joins the combined
-                # spine as a new potential point; nothing commits.
-                committed = 0
-                p_dis = top.p_dis + 1 + bottom.p_dis
-            p_tail = bottom.p_tail
-            par_b = bottom.par_b
+    def _combine_into(self, table: TupleTable, is_or: bool,
+                      view_a: List[MapTuple], view_b: List[MapTuple]) -> None:
+        config = self.config
+        w_max = config.w_max
+        h_max = config.h_max
+        pbe = config.pbe_aware
+        pareto = config.pareto
+        ordering = config.ordering
+        adverse = ordering == "adverse" or (not pbe and ordering != "naive")
+        naive = not adverse and (not pbe or ordering == "naive")
+        exhaustive = not adverse and not naive and ordering == "exhaustive"
+        metric = self._metric_key
+        key_fn = table.key_fn
+        discharge = self.model.discharge_cost()
+        slots = table.raw_slots()
+        slots_get = slots.get
+        max_front = table.max_front
+        created = 0
+        pruned = 0
+        skips = 0
+        if is_or:
+            # Parallel composition: W adds, so b must fit the remaining
+            # width budget (heights are both within h_max already).
+            by_budget = [[b for b in view_b if b.width <= budget]
+                         for budget in range(w_max)]
+            for a in view_a:
+                budget = w_max - a.width
+                if budget < 1:
+                    continue
+                a_w = a.width
+                a_h = a.height
+                a_wc = a.wcost
+                a_tr = a.trans
+                a_di = a.disch
+                a_lv = a.levels
+                a_pd = a.p_dis
+                a_hp = a.has_pi
+                for b in by_budget[budget]:
+                    created += 1
+                    width = a_w + b.width
+                    b_h = b.height
+                    height = b_h if b_h > a_h else a_h
+                    wcost = a_wc + b.wcost
+                    b_lv = b.levels
+                    levels = b_lv if b_lv > a_lv else a_lv
+                    # Inside a parallel stack every potential point rides
+                    # on the stack's shared bottom node: all of them are
+                    # "tail" points (p_tail == p_dis, par_b True).
+                    p_dis = (a_pd + b.p_dis) if pbe else 0
+                    if metric is not None:
+                        key = metric(wcost, levels)
+                        cand = None
+                    else:
+                        cand = MapTuple(width, height, wcost, a_tr + b.trans,
+                                        a_di + b.disch, levels, p_dis, True,
+                                        a_hp or b.has_pi, p_tail=p_dis,
+                                        ends_par=True, op="par",
+                                        left=a, right=b)
+                        key = key_fn(cand)
+                    slot = slots_get((width, height))
+                    if slot is None:
+                        if cand is None:
+                            cand = MapTuple(width, height, wcost,
+                                            a_tr + b.trans, a_di + b.disch,
+                                            levels, p_dis, True,
+                                            a_hp or b.has_pi, p_tail=p_dis,
+                                            ends_par=True, op="par",
+                                            left=a, right=b)
+                        slots[(width, height)] = [(key, cand)]
+                        continue
+                    if not pareto:
+                        inc_key, inc = slot[0]
+                        if key < inc_key or (key == inc_key
+                                             and p_dis < inc.p_dis):
+                            if cand is None:
+                                cand = MapTuple(width, height, wcost,
+                                                a_tr + b.trans,
+                                                a_di + b.disch,
+                                                levels, p_dis, True,
+                                                a_hp or b.has_pi,
+                                                p_tail=p_dis, ends_par=True,
+                                                op="par", left=a, right=b)
+                            slot[0] = (key, cand)
+                        else:
+                            pruned += 1
+                            if cand is None:
+                                skips += 1
+                        continue
+                    # Pareto front; the candidate has par_b True and
+                    # p_tail == p_dis, which simplifies both dominance
+                    # directions of TupleTable.insert.
+                    dominated = False
+                    for kept_key, kept in slot:
+                        if (kept_key <= key and kept.p_dis <= p_dis
+                                and kept.p_tail <= p_dis):
+                            dominated = True
+                            break
+                    if dominated:
+                        pruned += 1
+                        if cand is None:
+                            skips += 1
+                        continue
+                    if cand is None:
+                        cand = MapTuple(width, height, wcost, a_tr + b.trans,
+                                        a_di + b.disch, levels, p_dis, True,
+                                        a_hp or b.has_pi, p_tail=p_dis,
+                                        ends_par=True, op="par",
+                                        left=a, right=b)
+                    slot[:] = [e for e in slot
+                               if not (key <= e[0] and p_dis <= e[1].p_dis
+                                       and p_dis <= e[1].p_tail
+                                       and e[1].par_b)]
+                    slot.append((key, cand))
+                    if len(slot) > max_front:
+                        slot.sort(key=lambda e: (e[0], e[1].p_dis))
+                        del slot[max_front:]
         else:
-            committed = 0
-            p_dis = 0
-            p_tail = 0
-            par_b = False
-        return MapTuple(
-            width=width, height=height,
-            wcost=(top.wcost + bottom.wcost
-                   + committed * self.model.discharge_cost()),
-            trans=top.trans + bottom.trans + committed,
-            disch=top.disch + bottom.disch + committed,
-            levels=max(top.levels, bottom.levels),
-            p_dis=p_dis,
-            p_tail=p_tail,
-            par_b=par_b,
-            has_pi=top.has_pi or bottom.has_pi,
-            structure=series(top.structure, bottom.structure),
-        )
-
-    def _combine_and(self, a: MapTuple, b: MapTuple) -> List[MapTuple]:
-        """Apply the configured ordering rule; returns 0-2 candidates."""
-        ordering = self.config.ordering
-        if ordering == "adverse" or (not self.config.pbe_aware
-                                     and ordering != "naive"):
-            # Bulk-CMOS habit (Figure 2(a)): the parallel stack rises
-            # toward the dynamic node.
-            a_par = a.structure.ends_in_parallel
-            b_par = b.structure.ends_in_parallel
-            if b_par and not a_par:
-                a, b = b, a
-            candidate = self._combine_and_ordered(a, b)
-            return [candidate] if candidate else []
-        if not self.config.pbe_aware or ordering == "naive":
-            candidate = self._combine_and_ordered(a, b)
-            return [candidate] if candidate else []
-        if ordering == "exhaustive":
-            out = [self._combine_and_ordered(a, b),
-                   self._combine_and_ordered(b, a)]
-            return [c for c in out if c]
-        # The paper's rule: a parallel-stack-bearing operand sinks to the
-        # bottom (its discharge points may be protected by ground); with
-        # both or neither, the operand with more potential discharge points
-        # sinks.
-        if a.par_b != b.par_b:
-            top, bottom = (b, a) if a.par_b else (a, b)
-        elif a.p_dis >= b.p_dis:
-            top, bottom = b, a
-        else:
-            top, bottom = a, b
-        candidate = self._combine_and_ordered(top, bottom)
-        return [candidate] if candidate else []
+            # Series composition: H adds, so b must fit the remaining
+            # height budget (widths are both within w_max already).
+            by_budget = [[b for b in view_b if b.height <= budget]
+                         for budget in range(h_max)]
+            for a in view_a:
+                budget = h_max - a.height
+                if budget < 1:
+                    continue
+                for b in by_budget[budget]:
+                    # Stacking order: the configured ordering rule picks
+                    # which operand(s) go on top.
+                    if adverse:
+                        # Bulk-CMOS habit (Figure 2(a)): the parallel
+                        # stack rises toward the dynamic node.
+                        if b.ends_par and not a.ends_par:
+                            orders = ((b, a),)
+                        else:
+                            orders = ((a, b),)
+                    elif naive:
+                        orders = ((a, b),)
+                    elif exhaustive:
+                        orders = ((a, b), (b, a))
+                    # The paper's rule: a parallel-stack-bearing operand
+                    # sinks to the bottom (its discharge points may be
+                    # protected by ground); with both or neither, the
+                    # operand with more potential discharge points sinks.
+                    elif a.par_b != b.par_b:
+                        orders = ((b, a),) if a.par_b else ((a, b),)
+                    elif a.p_dis >= b.p_dis:
+                        orders = ((b, a),)
+                    else:
+                        orders = ((a, b),)
+                    for top, bottom in orders:
+                        created += 1
+                        t_w = top.width
+                        b_w = bottom.width
+                        width = t_w if t_w > b_w else b_w
+                        height = top.height + bottom.height
+                        if pbe:
+                            if top.par_b:
+                                # The new junction is the never-grounded
+                                # bottom node of the top's trailing
+                                # parallel stack: discharge it and the
+                                # stack's internal (tail) points now.
+                                # The top's spine junctions keep their
+                                # own classification.
+                                committed = top.p_tail + 1
+                                p_dis = ((top.p_dis - top.p_tail)
+                                         + bottom.p_dis)
+                            else:
+                                # Series-ending top: the junction joins
+                                # the combined spine as a new potential
+                                # point; nothing commits.
+                                committed = 0
+                                p_dis = top.p_dis + 1 + bottom.p_dis
+                            p_tail = bottom.p_tail
+                            par_b = bottom.par_b
+                        else:
+                            committed = 0
+                            p_dis = 0
+                            p_tail = 0
+                            par_b = False
+                        wcost = (top.wcost + bottom.wcost
+                                 + committed * discharge)
+                        t_lv = top.levels
+                        b_lv = bottom.levels
+                        levels = t_lv if t_lv > b_lv else b_lv
+                        if metric is not None:
+                            key = metric(wcost, levels)
+                            cand = None
+                        else:
+                            cand = MapTuple(width, height, wcost,
+                                            top.trans + bottom.trans
+                                            + committed,
+                                            top.disch + bottom.disch
+                                            + committed,
+                                            levels, p_dis, par_b,
+                                            top.has_pi or bottom.has_pi,
+                                            p_tail=p_tail,
+                                            ends_par=bottom.ends_par,
+                                            op="ser", left=top, right=bottom)
+                            key = key_fn(cand)
+                        slot = slots_get((width, height))
+                        if slot is None:
+                            if cand is None:
+                                cand = MapTuple(width, height, wcost,
+                                                top.trans + bottom.trans
+                                                + committed,
+                                                top.disch + bottom.disch
+                                                + committed,
+                                                levels, p_dis, par_b,
+                                                top.has_pi or bottom.has_pi,
+                                                p_tail=p_tail,
+                                                ends_par=bottom.ends_par,
+                                                op="ser", left=top,
+                                                right=bottom)
+                            slots[(width, height)] = [(key, cand)]
+                            continue
+                        if not pareto:
+                            inc_key, inc = slot[0]
+                            if key < inc_key or (key == inc_key
+                                                 and p_dis < inc.p_dis):
+                                if cand is None:
+                                    cand = MapTuple(width, height, wcost,
+                                                    top.trans + bottom.trans
+                                                    + committed,
+                                                    top.disch + bottom.disch
+                                                    + committed,
+                                                    levels, p_dis, par_b,
+                                                    top.has_pi
+                                                    or bottom.has_pi,
+                                                    p_tail=p_tail,
+                                                    ends_par=bottom.ends_par,
+                                                    op="ser", left=top,
+                                                    right=bottom)
+                                slot[0] = (key, cand)
+                            else:
+                                pruned += 1
+                                if cand is None:
+                                    skips += 1
+                            continue
+                        dominated = False
+                        for kept_key, kept in slot:
+                            if (kept_key <= key and kept.p_dis <= p_dis
+                                    and kept.p_tail <= p_tail
+                                    and (not kept.par_b or par_b)):
+                                dominated = True
+                                break
+                        if dominated:
+                            pruned += 1
+                            if cand is None:
+                                skips += 1
+                            continue
+                        if cand is None:
+                            cand = MapTuple(width, height, wcost,
+                                            top.trans + bottom.trans
+                                            + committed,
+                                            top.disch + bottom.disch
+                                            + committed,
+                                            levels, p_dis, par_b,
+                                            top.has_pi or bottom.has_pi,
+                                            p_tail=p_tail,
+                                            ends_par=bottom.ends_par,
+                                            op="ser", left=top, right=bottom)
+                        slot[:] = [e for e in slot
+                                   if not (key <= e[0]
+                                           and p_dis <= e[1].p_dis
+                                           and p_tail <= e[1].p_tail
+                                           and (not par_b or e[1].par_b))]
+                        slot.append((key, cand))
+                        if len(slot) > max_front:
+                            slot.sort(key=lambda e: (e[0], e[1].p_dis))
+                            del slot[max_front:]
+        stats = self.stats
+        stats.tuples_created += created
+        stats.tuples_pruned += pruned
+        stats.bound_skips += skips
 
     # ------------------------------------------------------------------
     # the DP over one node
     # ------------------------------------------------------------------
     def _fanin_view(self, uid: int) -> List[MapTuple]:
+        view = self._views.get(uid)
+        if view is None:
+            view = self._views[uid] = self._build_fanin_view(uid)
+        return view
+
+    def _build_fanin_view(self, uid: int) -> List[MapTuple]:
         node = self.network.node(uid)
         if node.type is NodeType.PI:
             return [self._pi_tuple(uid)]
@@ -357,19 +579,10 @@ class MappingEngine:
             table = TupleTable(self.model.tuple_key,
                                pareto=self.config.pareto)
             views = [self._fanin_view(f) for f in node.fanins]
-            combine_or = node.type is NodeType.OR
-            for ta in views[0]:
-                for tb in views[1]:
-                    stats.combine_calls += 1
-                    if combine_or:
-                        candidates = self._combine_or(ta, tb)
-                        candidates = [candidates] if candidates else []
-                    else:
-                        candidates = self._combine_and(ta, tb)
-                    for candidate in candidates:
-                        stats.tuples_created += 1
-                        if not table.insert(candidate):
-                            stats.tuples_pruned += 1
+            view_a, view_b = views
+            stats.combine_calls += len(view_a) * len(view_b)
+            self._combine_into(table, node.type is NodeType.OR,
+                               view_a, view_b)
             if not len(table):
                 raise MappingError(
                     f"no feasible {{W,H}} tuple for node {node.label}: "
@@ -509,7 +722,6 @@ class MappingEngine:
             config=self.config,
             cost_model=self.model,
             gate_records=dict(used),
-            tuples_created=self.stats.tuples_created,
             stats=self.stats,
         )
         return result

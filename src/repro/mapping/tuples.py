@@ -2,19 +2,31 @@
 
 The paper associates 6-tuples with intermediate solutions; here a
 :class:`MapTuple` carries the pair ``{W, H}``, the accumulated cost
-components, the PBE bookkeeping (``p_dis``, ``par_b``), and the partial
-pulldown structure itself so the final circuit can be materialized.
+components, and the PBE bookkeeping (``p_dis``, ``par_b``).
+
+The partial pulldown structure itself is **lazy**: the DP inner loop
+creates and discards far more candidates than it keeps, so a tuple built
+by a combination records only a provenance back-pointer — the operator
+(``"ser"``/``"par"``) and the two operand tuples.  The scalar fields are
+exact without the tree; the :attr:`MapTuple.structure` property rebuilds
+(and memoizes) the series/parallel tree on demand, which happens only
+when a gate is materialized or a table is stored into the tree cache.
+Leaf tuples (primary inputs, formed gates) are constructed with an eager
+structure, terminating the recursion.
 
 ``TupleTable`` stores, per ``(W, H)`` slot, either the single best tuple
 (paper mode) or a small Pareto front over ``(cost, p_dis)`` (an extension
-evaluated as an ablation).
+evaluated as an ablation).  Each stored tuple is paired with its selection
+key, computed exactly once, and :meth:`TupleTable.admits` exposes the
+keep/reject decision on raw scalars so the engine can skip dominated
+candidates before allocating anything.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..domino.structure import Pulldown
+from ..domino.structure import Pulldown, parallel, series
 
 
 class MapTuple:
@@ -47,19 +59,37 @@ class MapTuple:
         matching the flattened structural analysis.
     par_b:
         True when the structure has a parallel stack at its bottom.
+        Forced False by non-PBE-aware mapping (the bulk DP is blind to
+        it); ``ends_par`` below is the always-true structural fact.
     has_pi:
         True when any pulldown leaf is a primary input (the formed gate
         would need an n-clock foot).
-    structure:
-        The partial pulldown network.
+    ends_par:
+        Structural ``ends_in_parallel`` of the (possibly unbuilt)
+        pulldown — tracked as a scalar so the ordering rules never need
+        to materialize a structure.
+    op, left, right:
+        Provenance back-pointer: how this tuple was combined
+        (``"ser"``: ``left`` on top of ``right``; ``"par"``: ``left``
+        beside ``right``).  ``None`` for leaf tuples, which carry an
+        eager structure instead.
     """
 
     __slots__ = ("width", "height", "wcost", "trans", "disch", "levels",
-                 "p_dis", "p_tail", "par_b", "has_pi", "structure")
+                 "p_dis", "p_tail", "par_b", "has_pi", "ends_par",
+                 "op", "left", "right", "_structure")
 
     def __init__(self, width: int, height: int, wcost: float, trans: int,
                  disch: int, levels: int, p_dis: int, par_b: bool,
-                 has_pi: bool, structure: Pulldown, p_tail: int = 0):
+                 has_pi: bool, structure: Optional[Pulldown] = None,
+                 p_tail: int = 0, ends_par: Optional[bool] = None,
+                 op: Optional[str] = None,
+                 left: Optional["MapTuple"] = None,
+                 right: Optional["MapTuple"] = None):
+        if structure is None and op is None:
+            raise ValueError(
+                "MapTuple needs an eager structure or an (op, left, right) "
+                "provenance back-pointer")
         self.width = width
         self.height = height
         self.wcost = wcost
@@ -70,11 +100,43 @@ class MapTuple:
         self.p_tail = p_tail
         self.par_b = par_b
         self.has_pi = has_pi
-        self.structure = structure
+        self.op = op
+        self.left = left
+        self.right = right
+        self._structure = structure
+        if ends_par is None:
+            if structure is not None:
+                ends_par = structure.ends_in_parallel
+            else:
+                ends_par = True if op == "par" else right.ends_par
+        self.ends_par = ends_par
 
     @property
     def shape(self) -> Tuple[int, int]:
         return (self.width, self.height)
+
+    @property
+    def materialized(self) -> bool:
+        """True once the pulldown tree exists (leaves always do)."""
+        return self._structure is not None
+
+    @property
+    def structure(self) -> Pulldown:
+        """The partial pulldown network, rebuilt on demand and memoized.
+
+        The rebuilt tree is bit-identical to what an eager combination
+        would have produced: the back-pointers reference the exact
+        operand tuples, and ``series``/``parallel`` are deterministic in
+        their operands.
+        """
+        built = self._structure
+        if built is None:
+            if self.op == "ser":
+                built = series(self.left.structure, self.right.structure)
+            else:
+                built = parallel(self.left.structure, self.right.structure)
+            self._structure = built
+        return built
 
     def __repr__(self) -> str:
         return (f"MapTuple(W={self.width}, H={self.height}, "
@@ -90,7 +152,8 @@ class TupleTable:
     ----------
     key_fn:
         Maps a :class:`MapTuple` to a comparable selection key (provided
-        by the cost model).  Lower is better.
+        by the cost model).  Lower is better.  Each key is computed at
+        most once per stored tuple — slots hold ``(key, tuple)`` pairs.
     pareto:
         When true, each slot keeps every tuple that is Pareto-optimal in
         ``(key, p_dis)`` (capped at ``max_front``); otherwise each slot
@@ -101,7 +164,29 @@ class TupleTable:
         self._key_fn = key_fn
         self._pareto = pareto
         self._max_front = max_front
-        self._slots: Dict[Tuple[int, int], List[MapTuple]] = {}
+        #: shape -> list of (selection key, tuple) pairs
+        self._slots: Dict[Tuple[int, int], List[Tuple[float, MapTuple]]] = {}
+
+    @property
+    def key_fn(self):
+        return self._key_fn
+
+    @property
+    def pareto(self) -> bool:
+        return self._pareto
+
+    @property
+    def max_front(self) -> int:
+        return self._max_front
+
+    def raw_slots(self) -> Dict[Tuple[int, int], List[Tuple[float, MapTuple]]]:
+        """The internal ``shape -> [(key, tuple), ...]`` slot map.
+
+        Exposed for the mapping engine's inlined DP kernel, which reads
+        and mutates slots directly (see ``MappingEngine._combine_into``);
+        any mutation must replicate :meth:`insert`'s decisions exactly.
+        """
+        return self._slots
 
     @classmethod
     def from_slots(cls, key_fn, pareto: bool,
@@ -115,25 +200,53 @@ class TupleTable:
         """
         table = cls(key_fn, pareto=pareto, max_front=max_front)
         for shape, tuples in slots:
-            table._slots[shape] = list(tuples)
+            table._slots[shape] = [(key_fn(t), t) for t in tuples]
         return table
 
     def slots(self) -> List[Tuple[Tuple[int, int], List[MapTuple]]]:
         """Final contents as ``(shape, tuples)`` pairs in insertion order."""
-        return [(shape, list(slot)) for shape, slot in self._slots.items()]
+        return [(shape, [t for _, t in slot])
+                for shape, slot in self._slots.items()]
 
-    def insert(self, candidate: MapTuple) -> bool:
-        """Offer ``candidate``; returns True if it was kept."""
+    def admits(self, shape: Tuple[int, int], key, p_dis: int,
+               p_tail: int = 0, par_b: bool = False) -> bool:
+        """Would :meth:`insert` keep a candidate with these scalars?
+
+        This is the engine's incumbent-bound fast path: the decision is
+        exactly :meth:`insert`'s, but takes raw scalars, so a dominated
+        candidate can be rejected before a :class:`MapTuple` (let alone a
+        structure) is ever allocated.
+        """
+        slot = self._slots.get(shape)
+        if not slot:
+            return True
+        if not self._pareto:
+            inc_key, incumbent = slot[0]
+            return (key, p_dis) < (inc_key, incumbent.p_dis)
+        for kept_key, kept in slot:
+            if (kept_key <= key and kept.p_dis <= p_dis
+                    and kept.p_tail <= p_tail
+                    and (not kept.par_b or par_b)):
+                return False
+        return True
+
+    def insert(self, candidate: MapTuple, key=None) -> bool:
+        """Offer ``candidate``; returns True if it was kept.
+
+        ``key`` is the candidate's selection key when the caller already
+        computed it (the engine's scalar fast path); otherwise it is
+        computed here, once, and cached alongside the stored tuple.
+        """
+        if key is None:
+            key = self._key_fn(candidate)
         slot = self._slots.setdefault(candidate.shape, [])
-        key = self._key_fn(candidate)
         if not self._pareto:
             if not slot:
-                slot.append(candidate)
+                slot.append((key, candidate))
                 return True
-            incumbent = slot[0]
-            if (key, candidate.p_dis) < (self._key_fn(incumbent),
-                                         incumbent.p_dis):
-                slot[0] = candidate
+            inc_key, incumbent = slot[0]
+            if (key, candidate.p_dis) < (inc_key, incumbent.p_dis):
+                slot[0] = (key, candidate)
                 return True
             return False
         # Pareto mode: drop the candidate if dominated, evict what it
@@ -143,35 +256,37 @@ class TupleTable:
         # commits), and par_b itself — a series-ending tuple (par_b False)
         # is never worse than a parallel-ending one, since stacking below
         # a parallel-ending top commits its tail plus the junction.
-        def dominates(d: MapTuple, c: MapTuple) -> bool:
-            return (self._key_fn(d) <= self._key_fn(c)
-                    and d.p_dis <= c.p_dis
-                    and d.p_tail <= c.p_tail
-                    and (not d.par_b or c.par_b))
-
-        for kept in slot:
-            if dominates(kept, candidate):
+        c_dis, c_tail, c_par = candidate.p_dis, candidate.p_tail, candidate.par_b
+        for kept_key, kept in slot:
+            if (kept_key <= key and kept.p_dis <= c_dis
+                    and kept.p_tail <= c_tail
+                    and (not kept.par_b or c_par)):
                 return False
-        slot[:] = [kept for kept in slot if not dominates(candidate, kept)]
-        slot.append(candidate)
+        slot[:] = [(kept_key, kept) for kept_key, kept in slot
+                   if not (key <= kept_key and c_dis <= kept.p_dis
+                           and c_tail <= kept.p_tail
+                           and (not c_par or kept.par_b))]
+        slot.append((key, candidate))
         if len(slot) > self._max_front:
-            slot.sort(key=lambda t: (self._key_fn(t), t.p_dis))
+            slot.sort(key=lambda e: (e[0], e[1].p_dis))
             del slot[self._max_front:]
         return True
 
     def all_tuples(self) -> Iterator[MapTuple]:
         for slot in self._slots.values():
-            yield from slot
+            for _, t in slot:
+                yield t
 
     def best(self) -> Optional[MapTuple]:
         """Overall best tuple across all slots (None if the table is empty)."""
         best_tuple = None
         best_key = None
-        for t in self.all_tuples():
-            key = (self._key_fn(t), t.p_dis)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_tuple = t
+        for slot in self._slots.values():
+            for stored_key, t in slot:
+                key = (stored_key, t.p_dis)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_tuple = t
         return best_tuple
 
     def __len__(self) -> int:
@@ -182,4 +297,4 @@ class TupleTable:
 
     def get(self, width: int, height: int) -> List[MapTuple]:
         """Tuples stored for shape ``(width, height)`` (possibly empty)."""
-        return list(self._slots.get((width, height), ()))
+        return [t for _, t in self._slots.get((width, height), ())]

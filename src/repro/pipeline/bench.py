@@ -1,0 +1,304 @@
+"""Perf benchmark harness: the repo's mapping wall-time trajectory.
+
+``soidomino bench`` sweeps the benchmark suite across flows, series
+orderings, and table modes through :class:`~repro.pipeline.BatchRunner`,
+and records per-task wall time, tuple throughput, the engine's
+instrumentation counters, and the sha256 netlist digest of every mapped
+circuit.  The digests double as a bit-identity witness: two bench runs of
+the same sweep on different kernel implementations must agree on every
+digest, or one of them is wrong.
+
+The payload is written to ``BENCH_mapping.json`` at the invocation
+directory (the repo root, by convention) and is the unit every future
+perf PR regresses against: pass the previous payload via ``--baseline``
+and the harness embeds its aggregate and the measured speedup.
+
+The sweep defaults are the *tuple-heavy* configurations — the SOI flow
+under both the paper and exhaustive orderings, with single-best and
+Pareto tables — because those dominate mapping cost and are where kernel
+regressions show first.  The tree cache is off by default so every task
+times the raw DP kernel; ``use_cache=True`` measures the production
+configuration instead.  Schema invariants are centralized in
+:func:`validate_payload`, which the CI perf-smoke job runs against the
+artifact it uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..mapping.engine import ORDERING_RULES, MapperConfig
+from ..mapping.flows import flow_config
+from .runner import BatchReport, BatchRunner, BatchTask
+
+#: Payload format identifier; bump on breaking schema changes.
+BENCH_SCHEMA = "soidomino-bench/1"
+
+#: Default payload location — the repo root's perf trajectory file.
+DEFAULT_BENCH_PATH = "BENCH_mapping.json"
+
+#: Per-slot table regimes the sweep can exercise.
+TABLE_MODES = ("single", "pareto")
+
+#: Tuple-heavy defaults: the configurations kernel PRs must not regress.
+DEFAULT_FLOWS = ("soi",)
+DEFAULT_ORDERINGS = ("paper", "exhaustive")
+DEFAULT_MODES = TABLE_MODES
+
+#: Keys every result row must carry (CI asserts them on the artifact).
+RESULT_KEYS = ("circuit", "flow", "ordering", "table_mode", "ok",
+               "elapsed_s", "digest", "tuples", "pruned", "bound_skips",
+               "combines", "cache_hits", "cache_requests", "tuples_per_s",
+               "t_total", "t_disch", "gates", "levels")
+
+
+def bench_tasks(circuits: Sequence[str],
+                flows: Sequence[str] = DEFAULT_FLOWS,
+                orderings: Sequence[str] = DEFAULT_ORDERINGS,
+                modes: Sequence[str] = DEFAULT_MODES) -> List[BatchTask]:
+    """The sweep's cross product as batch tasks, in deterministic order.
+
+    Flow presets pin their defining fields — ``domino``/``rs`` force the
+    adverse ordering — so requested orderings that a preset overrides
+    collapse to one effective configuration; duplicates are dropped.
+    """
+    for ordering in orderings:
+        if ordering not in ORDERING_RULES:
+            raise ValueError(f"unknown ordering {ordering!r}; expected one "
+                             f"of {', '.join(ORDERING_RULES)}")
+    for mode in modes:
+        if mode not in TABLE_MODES:
+            raise ValueError(f"unknown table mode {mode!r}; expected one "
+                             f"of {', '.join(TABLE_MODES)}")
+    tasks: List[BatchTask] = []
+    seen = set()
+    for name in circuits:
+        for flow in flows:
+            for ordering in orderings:
+                for mode in modes:
+                    config = MapperConfig(ordering=ordering,
+                                          pareto=(mode == "pareto"))
+                    effective = flow_config(flow, config)
+                    identity = (name, flow, effective.fingerprint())
+                    if identity in seen:
+                        continue
+                    seen.add(identity)
+                    tasks.append(BatchTask(circuit=name, flow=flow,
+                                           config=effective))
+    return tasks
+
+
+def _result_row(result, repeats_elapsed: List[float]) -> Dict:
+    task = result.task
+    elapsed = min(repeats_elapsed)
+    row: Dict = {
+        "circuit": task.circuit,
+        "flow": task.flow,
+        "ordering": task.config.ordering,
+        "table_mode": "pareto" if task.config.pareto else "single",
+        "ok": result.ok,
+        "elapsed_s": elapsed,
+        "digest": result.digest,
+        "tuples": 0, "pruned": 0, "bound_skips": 0, "combines": 0,
+        "cache_hits": 0, "cache_requests": 0,
+        "tuples_per_s": 0.0,
+        "t_total": None, "t_disch": None, "gates": None, "levels": None,
+    }
+    if result.stats is not None:
+        s = result.stats
+        row.update(tuples=s.tuples_created, pruned=s.tuples_pruned,
+                   bound_skips=s.bound_skips, combines=s.combine_calls,
+                   cache_hits=s.cache_hits, cache_requests=s.cache_requests)
+        if elapsed > 0:
+            row["tuples_per_s"] = s.tuples_created / elapsed
+    if result.cost is not None:
+        row.update(t_total=result.cost.t_total, t_disch=result.cost.t_disch,
+                   gates=result.cost.num_gates, levels=result.cost.levels)
+    if not result.ok:
+        row["error"] = result.error
+    return row
+
+
+def _aggregate(rows: List[Dict]) -> Dict:
+    ok_rows = [r for r in rows if r["ok"]]
+    task_time = sum(r["elapsed_s"] for r in ok_rows)
+    tuples = sum(r["tuples"] for r in ok_rows)
+    by_config: Dict[str, Dict] = {}
+    for r in ok_rows:
+        label = f"{r['flow']}/{r['ordering']}/{r['table_mode']}"
+        group = by_config.setdefault(
+            label, {"tasks": 0, "task_time_s": 0.0, "tuples": 0})
+        group["tasks"] += 1
+        group["task_time_s"] += r["elapsed_s"]
+        group["tuples"] += r["tuples"]
+    heavy = [r for r in ok_rows
+             if r["table_mode"] == "pareto" or r["ordering"] == "exhaustive"]
+    return {
+        "tasks": len(rows),
+        "failures": len(rows) - len(ok_rows),
+        "task_time_s": task_time,
+        "tuples": tuples,
+        "combines": sum(r["combines"] for r in ok_rows),
+        "bound_skips": sum(r["bound_skips"] for r in ok_rows),
+        "tuples_per_s": tuples / task_time if task_time else 0.0,
+        "tuple_heavy_task_time_s": sum(r["elapsed_s"] for r in heavy),
+        "by_config": by_config,
+    }
+
+
+def run_bench(circuits: Optional[Sequence[str]] = None,
+              flows: Sequence[str] = DEFAULT_FLOWS,
+              orderings: Sequence[str] = DEFAULT_ORDERINGS,
+              modes: Sequence[str] = DEFAULT_MODES,
+              jobs: int = 1,
+              use_cache: bool = False,
+              repeat: int = 1) -> Dict:
+    """Run the sweep and return the bench payload (not yet written).
+
+    ``repeat > 1`` re-runs the whole sweep and keeps each task's minimum
+    wall time (counters and digests are checked to be identical across
+    repeats — a mismatch marks the payload as non-deterministic).
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    from ..bench_suite import circuit_names
+
+    names = list(circuits) if circuits else circuit_names()
+    tasks = bench_tasks(names, flows=flows, orderings=orderings, modes=modes)
+    started = time.perf_counter()
+    reports: List[BatchReport] = []
+    for _ in range(repeat):
+        runner = BatchRunner(max_workers=jobs, use_cache=use_cache)
+        report = (runner.run_serial(tasks) if jobs == 1
+                  else runner.run(tasks))
+        reports.append(report)
+    wall_s = time.perf_counter() - started
+
+    deterministic = True
+    rows = []
+    first = reports[0]
+    for index, result in enumerate(first.results):
+        elapsed = [rep.results[index].elapsed_s for rep in reports]
+        if any(rep.results[index].digest != result.digest
+               for rep in reports[1:]):
+            deterministic = False
+        rows.append(_result_row(result, elapsed))
+
+    flow_list = list(dict.fromkeys(flows))
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": time.time(),
+        "methodology": (
+            "Serial sweep of the benchmark suite through BatchRunner; "
+            "per-task wall time is the minimum over "
+            f"{repeat} repeat(s); tree cache "
+            f"{'enabled' if use_cache else 'disabled'} so each task times "
+            "the raw DP kernel; digests are sha256 of the mapped "
+            "transistor netlist and must be bit-identical across kernel "
+            "implementations. tuple-heavy = pareto tables or exhaustive "
+            "ordering, the configurations perf PRs regress against."),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "jobs": jobs,
+            "cache": use_cache,
+            "repeat": repeat,
+            "mode": first.mode,
+        },
+        "sweep": {
+            "circuits": names,
+            "flows": flow_list,
+            "orderings": list(dict.fromkeys(orderings)),
+            "table_modes": list(dict.fromkeys(modes)),
+        },
+        "deterministic": deterministic,
+        "wall_s": wall_s,
+        "results": rows,
+        "aggregate": _aggregate(rows),
+    }
+    return payload
+
+
+def attach_baseline(payload: Dict, baseline: Dict) -> Dict:
+    """Embed ``baseline``'s aggregate and the measured speedups.
+
+    Speedups compare summed per-task wall time (serial-equivalent work),
+    overall and over the tuple-heavy subset; per-config ratios are added
+    for every configuration present in both payloads.  Returns
+    ``payload`` for chaining.
+    """
+    base_agg = baseline.get("aggregate", {})
+    cur_agg = payload["aggregate"]
+
+    def ratio(base: float, cur: float) -> Optional[float]:
+        return (base / cur) if base and cur else None
+
+    by_config = {}
+    for label, group in cur_agg.get("by_config", {}).items():
+        base_group = base_agg.get("by_config", {}).get(label)
+        if base_group:
+            by_config[label] = ratio(base_group["task_time_s"],
+                                     group["task_time_s"])
+    payload["baseline"] = {
+        "generated_unix": baseline.get("generated_unix"),
+        "aggregate": base_agg,
+        "speedup": ratio(base_agg.get("task_time_s", 0.0),
+                         cur_agg["task_time_s"]),
+        "tuple_heavy_speedup": ratio(
+            base_agg.get("tuple_heavy_task_time_s", 0.0),
+            cur_agg["tuple_heavy_task_time_s"]),
+        "speedup_by_config": by_config,
+    }
+    return payload
+
+
+def validate_payload(payload: Dict) -> List[str]:
+    """Schema problems in a bench payload ([] when it is well-formed).
+
+    This is the CI perf-smoke contract: required keys present, every
+    result carries a digest, and the work counters are positive.  No
+    wall-clock thresholds — runtimes flake, schemas do not.
+    """
+    problems: List[str] = []
+    for required in ("schema", "methodology", "environment", "sweep",
+                     "results", "aggregate", "wall_s"):
+        if required not in payload:
+            problems.append(f"missing top-level key {required!r}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    results = payload.get("results", [])
+    if not results:
+        problems.append("no results")
+    for index, row in enumerate(results):
+        for key in RESULT_KEYS:
+            if key not in row:
+                problems.append(f"results[{index}] missing key {key!r}")
+        if row.get("ok"):
+            if not row.get("digest"):
+                problems.append(f"results[{index}] has no netlist digest")
+            for counter in ("tuples", "combines"):
+                if not row.get(counter, 0) > 0:
+                    problems.append(
+                        f"results[{index}] counter {counter!r} is not > 0")
+            if not row.get("elapsed_s", 0) > 0:
+                problems.append(f"results[{index}] elapsed_s is not > 0")
+    aggregate = payload.get("aggregate", {})
+    for counter in ("tasks", "task_time_s", "tuples", "combines"):
+        if not aggregate.get(counter, 0) > 0:
+            problems.append(f"aggregate counter {counter!r} is not > 0")
+    return problems
+
+
+def write_payload(payload: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+
+
+def load_payload(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

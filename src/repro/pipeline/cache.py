@@ -253,7 +253,8 @@ def _copy_tuple(t: MapTuple, structure: Pulldown) -> MapTuple:
     return MapTuple(width=t.width, height=t.height, wcost=t.wcost,
                     trans=t.trans, disch=t.disch, levels=t.levels,
                     p_dis=t.p_dis, par_b=t.par_b, has_pi=t.has_pi,
-                    structure=structure, p_tail=t.p_tail)
+                    structure=structure, p_tail=t.p_tail,
+                    ends_par=t.ends_par)
 
 
 def _abstract(t: MapTuple, label_pos, uid_pos) -> Optional[MapTuple]:

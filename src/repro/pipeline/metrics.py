@@ -24,10 +24,16 @@ class MappingStats:
     Attributes
     ----------
     tuples_created:
-        DP sub-solutions produced by ``combine_or``/``combine_and``.
+        DP candidate sub-solutions produced by the combine step (feasible
+        ``{W, H}`` combinations, whether or not a tuple was allocated).
     tuples_pruned:
         Candidates rejected at table insertion (dominated or beaten by
-        the incumbent of their ``{W, H}`` slot).
+        the incumbent of their ``{W, H}`` slot), including those the
+        incumbent-bound fast path rejected before allocation.
+    bound_skips:
+        The subset of ``tuples_pruned`` rejected by the scalar
+        incumbent-bound check before a ``MapTuple`` was ever allocated
+        (the lazy kernel's cheap rejections).
     combine_calls:
         Fanin-pair combinations attempted (each may yield 0-2 tuples).
     gate_formations:
@@ -44,6 +50,7 @@ class MappingStats:
 
     tuples_created: int = 0
     tuples_pruned: int = 0
+    bound_skips: int = 0
     combine_calls: int = 0
     gate_formations: int = 0
     cache_hits: int = 0
@@ -91,6 +98,8 @@ class MappingStats:
             f"combines={self.combine_calls}",
             f"gates={self.gate_formations}",
         ]
+        if self.bound_skips:
+            parts.insert(2, f"bound_skips={self.bound_skips}")
         if self.cache_requests:
             parts.append(f"cache={self.cache_hits}/{self.cache_requests}"
                          f" ({100.0 * self.cache_hit_rate:.0f}%)")

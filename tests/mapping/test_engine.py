@@ -95,7 +95,10 @@ class TestBookkeeping:
         unate = _unate(7)
         engine = MappingEngine(unate, CostModel(), MapperConfig())
         result = engine.run()
-        assert result.tuples_created > 0
+        assert result.stats.tuples_created > 0
+        # the old field survives as a deprecated alias
+        with pytest.warns(DeprecationWarning):
+            assert result.tuples_created == result.stats.tuples_created
 
 
 class TestModes:

@@ -1,0 +1,110 @@
+"""Tests for the perf benchmark harness (``pipeline/bench.py``)."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.pipeline.bench import (BENCH_SCHEMA, RESULT_KEYS, attach_baseline,
+                                  bench_tasks, load_payload, run_bench,
+                                  validate_payload, write_payload)
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    """One real sweep over two tiny circuits, shared across tests."""
+    return run_bench(circuits=("cm150", "mux"), repeat=2)
+
+
+def test_bench_tasks_cross_product():
+    tasks = bench_tasks(("cm150", "mux"))
+    # 2 circuits x soi x {paper, exhaustive} x {single, pareto}
+    assert len(tasks) == 8
+    assert {t.circuit for t in tasks} == {"cm150", "mux"}
+    assert all(t.flow == "soi" for t in tasks)
+
+
+def test_bench_tasks_dedups_pinned_orderings():
+    # the domino preset pins ordering=adverse, so both requested
+    # orderings collapse to one effective config per circuit/mode
+    tasks = bench_tasks(("cm150",), flows=("domino",),
+                        orderings=("paper", "exhaustive"))
+    assert len(tasks) == 2
+    assert {t.config.pareto for t in tasks} == {False, True}
+
+
+def test_bench_tasks_rejects_unknown_axis():
+    with pytest.raises(ValueError, match="ordering"):
+        bench_tasks(("mux",), orderings=("sideways",))
+    with pytest.raises(ValueError, match="table mode"):
+        bench_tasks(("mux",), modes=("best",))
+
+
+def test_run_bench_payload_is_valid(tiny_payload):
+    assert validate_payload(tiny_payload) == []
+    assert tiny_payload["schema"] == BENCH_SCHEMA
+    assert tiny_payload["deterministic"] is True
+    assert len(tiny_payload["results"]) == 8
+    for row in tiny_payload["results"]:
+        assert row["ok"]
+        for key in RESULT_KEYS:
+            assert key in row
+    agg = tiny_payload["aggregate"]
+    assert agg["tasks"] == 8 and agg["failures"] == 0
+    assert agg["tuples"] > 0 and agg["task_time_s"] > 0
+    # every default config is tuple-heavy except soi/paper/single
+    assert agg["tuple_heavy_task_time_s"] < agg["task_time_s"]
+    assert set(agg["by_config"]) == {"soi/paper/single", "soi/paper/pareto",
+                                     "soi/exhaustive/single",
+                                     "soi/exhaustive/pareto"}
+
+
+def test_run_bench_rejects_bad_repeat():
+    with pytest.raises(ValueError, match="repeat"):
+        run_bench(circuits=("mux",), repeat=0)
+
+
+def test_attach_baseline_speedup_math(tiny_payload):
+    current = copy.deepcopy(tiny_payload)
+    baseline = copy.deepcopy(tiny_payload)
+    scale = 3.0
+    agg = baseline["aggregate"]
+    agg["task_time_s"] *= scale
+    agg["tuple_heavy_task_time_s"] *= scale
+    for group in agg["by_config"].values():
+        group["task_time_s"] *= scale
+    attach_baseline(current, baseline)
+    block = current["baseline"]
+    assert block["speedup"] == pytest.approx(scale)
+    assert block["tuple_heavy_speedup"] == pytest.approx(scale)
+    assert set(block["speedup_by_config"]) == set(agg["by_config"])
+    for ratio in block["speedup_by_config"].values():
+        assert ratio == pytest.approx(scale)
+
+
+def test_attach_baseline_tolerates_empty_baseline(tiny_payload):
+    current = copy.deepcopy(tiny_payload)
+    attach_baseline(current, {})
+    assert current["baseline"]["speedup"] is None
+    assert current["baseline"]["speedup_by_config"] == {}
+
+
+def test_validate_payload_flags_problems(tiny_payload):
+    broken = copy.deepcopy(tiny_payload)
+    del broken["methodology"]
+    broken["schema"] = "something-else"
+    broken["results"][0].pop("digest")
+    broken["results"][1]["tuples"] = 0
+    problems = validate_payload(broken)
+    assert any("methodology" in p for p in problems)
+    assert any("schema" in p for p in problems)
+    assert any("digest" in p for p in problems)
+    assert any("tuples" in p for p in problems)
+    assert validate_payload({}) != []
+
+
+def test_write_load_roundtrip(tiny_payload, tmp_path):
+    path = tmp_path / "bench.json"
+    write_payload(tiny_payload, str(path))
+    assert load_payload(str(path)) == tiny_payload

@@ -2,8 +2,11 @@
 
 import pickle
 
+import pytest
+
 from repro import domino_map, map_network, rs_map, soi_domino_map
 from repro.bench_suite import load_circuit
+from repro.mapping import MapperConfig
 from repro.pipeline import MappingStats
 
 
@@ -27,9 +30,21 @@ def test_stats_populated_for_every_flow():
 
 def test_tuples_created_mirrors_stats():
     result = map_network(load_circuit("cm150"))
-    assert result.mapping.tuples_created == result.stats.tuples_created
+    with pytest.warns(DeprecationWarning):
+        assert result.mapping.tuples_created == result.stats.tuples_created
     assert result.stats.tuples_kept == (result.stats.tuples_created
                                         - result.stats.tuples_pruned)
+
+
+def test_bound_skips_counted():
+    for pareto in (False, True):
+        stats = map_network(load_circuit("mux"),
+                            config=MapperConfig(pareto=pareto)).stats
+        assert stats.bound_skips > 0
+        # with the built-in cost models the scalar fast path decides
+        # every rejection before a tuple is allocated
+        assert stats.bound_skips == stats.tuples_pruned
+        assert "bound_skips=" in stats.summary()
 
 
 def test_flow_result_elapsed_recorded():

@@ -73,6 +73,58 @@ def test_pbe_clean_circuit(capsys):
     assert "PBE-free" in capsys.readouterr().out
 
 
+def test_map_profile_flag(capsys):
+    assert main(["map", "mux", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    assert "cumulative" in out
+    assert "_combine_into" in out
+
+
+def test_bench_writes_valid_payload(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    assert main(["bench", "cm150", "mux", "-o", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "bench: 8 tasks" in out
+    assert "aggregate:" in out
+    assert path.exists()
+
+    assert main(["bench", "--check", str(path)]) == 0
+    assert "valid soidomino-bench/1 payload" in capsys.readouterr().out
+
+
+def test_bench_baseline_speedup(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    current = tmp_path / "current.json"
+    assert main(["bench", "cm150", "-o", str(base)]) == 0
+    assert main(["bench", "cm150", "-o", str(current),
+                 "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out
+    assert "speedup" in out
+
+    from repro.pipeline.bench import load_payload
+
+    payload = load_payload(str(current))
+    assert payload["baseline"]["speedup"] is not None
+
+
+def test_bench_check_rejects_garbage(tmp_path, capsys):
+    path = tmp_path / "junk.json"
+    path.write_text("{}")
+    assert main(["bench", "--check", str(path)]) == 1
+    assert "invalid" in capsys.readouterr().err
+
+
+def test_bench_check_unreadable_reports_cleanly(tmp_path, capsys):
+    path = tmp_path / "not-json.json"
+    path.write_text("this is not json")
+    assert main(["bench", "--check", str(path)]) == 2
+    assert "error: cannot read" in capsys.readouterr().err
+    assert main(["bench", "--check", str(tmp_path / "missing.json")]) == 2
+    assert "error: cannot read" in capsys.readouterr().err
+
+
 def test_error_reported_cleanly(capsys):
     assert main(["map", "not-a-circuit"]) == 2
     assert "error:" in capsys.readouterr().err
