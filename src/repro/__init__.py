@@ -19,6 +19,7 @@ See README.md for the full tour and DESIGN.md for the system inventory.
 
 from .errors import (
     BenchmarkError,
+    FlowError,
     MappingError,
     NetworkError,
     ParseError,
@@ -49,7 +50,16 @@ from .domino import (
     rearrange,
     series,
 )
+from .flow import (
+    FlowCheckpoint,
+    FlowContext,
+    FlowPipeline,
+    Pass,
+    PassRecord,
+    available_passes,
+)
 from .mapping import (
+    FLOW_PASSES,
     FLOW_PRESETS,
     AreaCost,
     ClockWeightedCost,
@@ -61,6 +71,7 @@ from .mapping import (
     MappingResult,
     domino_map,
     flow_config,
+    flow_passes,
     map_network,
     prepare_network,
     rs_map,
@@ -79,6 +90,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BenchmarkError",
+    "FlowError",
     "MappingError",
     "NetworkError",
     "ParseError",
@@ -108,7 +120,15 @@ __all__ = [
     "rearrange",
     "series",
     "AreaCost",
+    "FLOW_PASSES",
     "FLOW_PRESETS",
+    "FlowCheckpoint",
+    "FlowContext",
+    "FlowPipeline",
+    "Pass",
+    "PassRecord",
+    "available_passes",
+    "flow_passes",
     "ClockWeightedCost",
     "CostModel",
     "DepthCost",

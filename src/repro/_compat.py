@@ -1,0 +1,26 @@
+"""Backwards-compatibility shims: the one place deprecations live.
+
+Every legacy API surface the package still honours funnels through
+:func:`deprecated`, so the warning category, the ``stacklevel``
+arithmetic, and the message style stay consistent — and a grep for
+``_compat.deprecated`` enumerates every shim left to retire.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Default stacklevel: the caller of the shimmed public function.
+#: (1 = deprecated(), 2 = the shim itself, 3 = the user's call site.)
+_CALLER = 3
+
+
+def deprecated(message: str, *, stacklevel: int = _CALLER) -> None:
+    """Emit the package-standard :class:`DeprecationWarning`.
+
+    ``message`` should name the legacy spelling and its replacement
+    ("X is deprecated; use Y instead").  ``stacklevel`` defaults to the
+    user's call site when called directly from a shim function; property
+    shims (one frame shallower) pass ``stacklevel=2``.
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

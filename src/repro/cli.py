@@ -9,7 +9,12 @@ Subcommands
              print per-task costs, timings and engine instrumentation;
 ``tables``   reproduce the paper's Tables I-IV;
 ``circuits`` list the built-in benchmark suite;
+``passes``   list the flow-pass registry and the preset pass lists;
 ``pbe``      run the PBE stress simulator on a mapped circuit.
+
+``map`` speaks JSON with ``--json`` (cost, stats, per-pass records,
+netlist digest), like ``batch``/``bench``, and supports checkpoint/resume
+via ``--checkpoint DIR``.
 """
 
 from __future__ import annotations
@@ -56,9 +61,23 @@ def _cmd_map(args) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     result = map_network(network, flow=args.algorithm, cost_model=model,
-                         w_max=args.w_max, h_max=args.h_max)
+                         w_max=args.w_max, h_max=args.h_max,
+                         checkpoint_dir=args.checkpoint)
     if profiler is not None:
         profiler.disable()
+    if args.json:
+        import json
+
+        payload = result.as_dict()
+        payload["input"] = network_stats(network).as_dict()
+        payload["cost_objective"] = args.cost
+        payload["digest"] = result.circuit.digest()
+        if args.netlist:
+            payload["netlist"] = circuit_netlist(result.circuit)
+        if args.dot:
+            payload["dot"] = circuit_to_dot(result.circuit)
+        print(json.dumps(payload, indent=1))
+        return 0
     cost = result.cost
     print(f"circuit:   {network.name}")
     print(f"input:     {network_stats(network)}")
@@ -71,6 +90,9 @@ def _cmd_map(args) -> int:
     print(f"mapped:    {cost}")
     print(f"stats:     {result.stats.summary()} "
           f"elapsed={result.elapsed_s:.3f}s")
+    print("passes:    " + " ".join(
+        f"{r.name}={r.elapsed_s:.3f}s" if r.ran else f"{r.name}[{r.status}]"
+        for r in result.passes))
     if args.netlist:
         print(circuit_netlist(result.circuit))
     if args.dot:
@@ -216,6 +238,36 @@ def _cmd_circuits(_args) -> int:
     return 0
 
 
+def _cmd_passes(args) -> int:
+    from .flow import available_passes
+    from .mapping import FLOW_PASSES
+
+    if args.json:
+        import json
+
+        payload = {
+            "passes": [{"name": p.name,
+                        "requires": list(p.requires),
+                        "provides": list(p.provides),
+                        "description": p.description}
+                       for p in available_passes()],
+            "flows": {flow: list(names)
+                      for flow, names in FLOW_PASSES.items()},
+        }
+        print(json.dumps(payload, indent=1))
+        return 0
+    print("registered passes:")
+    for p in available_passes():
+        arrow = (f"{', '.join(p.requires) or '-'} -> "
+                 f"{', '.join(p.provides) or '-'}")
+        print(f"  {p.name:10s} [{arrow}]")
+        print(f"             {p.description}")
+    print("\nflow pass lists:")
+    for flow, names in FLOW_PASSES.items():
+        print(f"  {flow:8s} {' -> '.join(names)}")
+    return 0
+
+
 def _cmd_pbe(args) -> int:
     network = _load_network(args.circuit)
     result = map_network(network, flow=args.algorithm)
@@ -248,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the SPICE-style transistor netlist")
     p_map.add_argument("--dot", action="store_true",
                        help="print the mapped circuit as Graphviz DOT")
+    p_map.add_argument("--json", action="store_true",
+                       help="emit the result (cost, stats, per-pass "
+                            "records, digest) as JSON")
+    p_map.add_argument("--checkpoint", metavar="DIR", default=None,
+                       help="flow checkpoint directory: artifacts are "
+                            "saved after every pass and a rerun resumes "
+                            "after the last completed one")
     p_map.add_argument("--profile", action="store_true",
                        help="run the mapping under cProfile and print the "
                             "top-20 cumulative entries")
@@ -320,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("circuits", help="list the benchmark suite")
     p_list.set_defaults(func=_cmd_circuits)
+
+    p_passes = sub.add_parser(
+        "passes", help="list the flow-pass registry and preset pass lists")
+    p_passes.add_argument("--json", action="store_true",
+                          help="emit the registry as JSON")
+    p_passes.set_defaults(func=_cmd_passes)
 
     p_pbe = sub.add_parser("pbe", help="stress a mapped circuit for PBE")
     p_pbe.add_argument("circuit")

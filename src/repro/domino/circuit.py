@@ -112,6 +112,19 @@ class DominoCircuit:
             return 0
         return max((g.level for g in self._gates), default=0)
 
+    def digest(self) -> str:
+        """sha256 of the transistor netlist: the bit-identity witness.
+
+        Two mapping runs are equivalent iff their digests agree; the
+        batch runner, the bench harness, and the pinned seed-digest
+        tests all compare this value.
+        """
+        import hashlib
+
+        from ..io.netlist_text import circuit_netlist
+
+        return hashlib.sha256(circuit_netlist(self).encode()).hexdigest()
+
     def recompute_levels(self) -> None:
         """Recompute ``gate.level`` from the wiring (1 + max driver level)."""
         order = self._topological_gates()

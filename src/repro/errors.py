@@ -41,6 +41,10 @@ class MappingError(ReproError):
     """Technology mapping failed (e.g. no feasible tuple for a node)."""
 
 
+class FlowError(ReproError):
+    """A flow pipeline is malformed or a checkpoint cannot be resumed."""
+
+
 class StructureError(ReproError):
     """A pulldown structure tree is malformed or violates W/H limits."""
 

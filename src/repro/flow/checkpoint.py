@@ -1,0 +1,130 @@
+"""Flow checkpoints: serialize artifacts after any pass, resume later.
+
+A checkpoint directory holds one pickle per artifact plus a JSON
+``manifest.json`` describing the run: schema version, flow name, the
+full pass list, the prefix of passes already completed, and the mapper
+config that produced the artifacts.  :meth:`FlowCheckpoint.restore`
+refuses to resume when any of those disagree with the resuming pipeline
+— a checkpoint taken under a different config would silently produce a
+different circuit, which is exactly the failure mode the digest tests
+pin against.
+
+Artifacts are pickled (they are plain dataclass/object trees: networks,
+mapping plans, results); the manifest stays human-readable JSON so a
+checkpoint can be inspected without loading it.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import asdict
+from pathlib import Path
+from typing import List
+
+from ..errors import FlowError
+from .context import ARTIFACTS, FlowContext
+
+#: Manifest format identifier; bump on breaking changes.
+CHECKPOINT_SCHEMA = "soidomino-flow-checkpoint/1"
+
+MANIFEST_NAME = "manifest.json"
+
+
+class FlowCheckpoint:
+    """Persistence of one flow run's artifacts under a directory."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def exists(self) -> bool:
+        return self.manifest_path.is_file()
+
+    def _artifact_path(self, name: str) -> Path:
+        return self.directory / f"artifact-{name}.pkl"
+
+    # -- writing ---------------------------------------------------------
+    def save(self, ctx: FlowContext, pipeline,
+             completed: List[str]) -> None:
+        """Serialize the context's artifacts after a completed pass."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        stored = {}
+        for name, value in ctx.artifacts.items():
+            path = self._artifact_path(name)
+            with open(path, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            stored[name] = path.name
+        manifest = {
+            "schema": CHECKPOINT_SCHEMA,
+            "flow": ctx.flow,
+            "passes": pipeline.pass_names,
+            "completed": list(completed),
+            "config": asdict(ctx.config),
+            "artifacts": stored,
+        }
+        with open(self.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+            handle.write("\n")
+
+    # -- reading ---------------------------------------------------------
+    def load_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise FlowError(
+                f"cannot read checkpoint manifest {self.manifest_path}: "
+                f"{exc}") from exc
+        if manifest.get("schema") != CHECKPOINT_SCHEMA:
+            raise FlowError(
+                f"checkpoint {self.directory} has schema "
+                f"{manifest.get('schema')!r}, expected "
+                f"{CHECKPOINT_SCHEMA!r}")
+        return manifest
+
+    def restore(self, ctx: FlowContext, pipeline) -> List[str]:
+        """Load artifacts into ``ctx``; returns the completed-pass prefix.
+
+        Raises :class:`FlowError` when the checkpoint does not belong to
+        this pipeline/configuration (different flow, pass list, config,
+        or a completed list that is not a prefix of the pass list).
+        """
+        manifest = self.load_manifest()
+        if manifest.get("flow") != ctx.flow:
+            raise FlowError(
+                f"checkpoint {self.directory} was taken for flow "
+                f"{manifest.get('flow')!r}, cannot resume flow "
+                f"{ctx.flow!r}")
+        if manifest.get("passes") != pipeline.pass_names:
+            raise FlowError(
+                f"checkpoint {self.directory} was taken for pass list "
+                f"{manifest.get('passes')}, cannot resume "
+                f"{pipeline.pass_names}")
+        if manifest.get("config") != asdict(ctx.config):
+            raise FlowError(
+                f"checkpoint {self.directory} was taken under a different "
+                f"mapper config; refusing to resume (delete the "
+                f"checkpoint to start over)")
+        completed = list(manifest.get("completed", []))
+        if completed != pipeline.pass_names[:len(completed)]:
+            raise FlowError(
+                f"checkpoint completed passes {completed} are not a "
+                f"prefix of {pipeline.pass_names}")
+        for name, filename in manifest.get("artifacts", {}).items():
+            if name not in ARTIFACTS:
+                raise FlowError(
+                    f"checkpoint {self.directory} stores unknown artifact "
+                    f"{name!r}")
+            path = self.directory / filename
+            try:
+                with open(path, "rb") as handle:
+                    ctx.set(name, pickle.load(handle))
+            except (OSError, pickle.UnpicklingError, EOFError) as exc:
+                raise FlowError(
+                    f"cannot load checkpoint artifact {path}: "
+                    f"{exc}") from exc
+        return completed

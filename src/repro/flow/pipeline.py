@@ -1,0 +1,177 @@
+"""Declarative pass lists executed over a :class:`FlowContext`.
+
+A :class:`FlowPipeline` is a validated sequence of registered passes.
+Validation is static: walking the list from the initial artifacts, every
+pass's ``requires`` must be provided by an earlier pass (or be present
+at the start), so a misassembled flow fails before any work happens.
+
+Execution records one :class:`PassRecord` per pass — wall-clock time,
+the movement of every :class:`~repro.pipeline.MappingStats` counter
+during the pass, and the pass's own structured diagnostics — and these
+records surface on :attr:`FlowResult.passes`, ``soidomino map --json``,
+and the bench harness.  With a :class:`~repro.flow.FlowCheckpoint`
+attached, artifacts are serialized after every pass and a re-run resumes
+from the last completed one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import FlowError
+from .context import ARTIFACTS, FlowContext
+from .passes import Pass, get_pass
+
+#: Pass statuses a record can carry.
+PASS_STATUSES = ("ok", "skipped", "resumed")
+
+
+@dataclass
+class PassRecord:
+    """Observability record of one pass execution.
+
+    ``status`` is ``"ok"`` for a pass that ran, ``"skipped"`` for one
+    whose :meth:`Pass.skip_reason` declined (reason in ``detail``), and
+    ``"resumed"`` for one restored from a checkpoint (not re-run).
+    """
+
+    name: str
+    status: str = "ok"
+    detail: Optional[str] = None
+    elapsed_s: float = 0.0
+    #: non-zero MappingStats counter movement during this pass
+    stats_delta: Dict[str, float] = field(default_factory=dict)
+    #: the pass's own structured diagnostics
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ran(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "status": self.status,
+            "elapsed_s": self.elapsed_s,
+            "stats_delta": dict(self.stats_delta),
+            "diagnostics": dict(self.diagnostics),
+        }
+        if self.detail is not None:
+            data["detail"] = self.detail
+        return data
+
+
+class FlowPipeline:
+    """An ordered, validated list of passes.
+
+    Parameters
+    ----------
+    passes:
+        Pass names (resolved in the registry) or :class:`Pass` instances.
+    name:
+        Flow label carried into records and checkpoints.
+    initial:
+        Artifacts the caller provides before the first pass runs
+        (default: just ``network``).
+    """
+
+    def __init__(self, passes: Sequence[Union[str, Pass]],
+                 name: str = "custom",
+                 initial: Sequence[str] = ("network",)):
+        if not passes:
+            raise FlowError("a flow pipeline needs at least one pass")
+        self.name = name
+        self.passes: List[Pass] = [
+            p if isinstance(p, Pass) else get_pass(p) for p in passes]
+        self.initial = tuple(initial)
+        self.validate()
+
+    @property
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def validate(self) -> None:
+        """Check the artifact chain (and name uniqueness) statically."""
+        seen = set()
+        for p in self.passes:
+            if p.name in seen:
+                raise FlowError(
+                    f"flow {self.name!r}: pass {p.name!r} listed twice")
+            seen.add(p.name)
+        available = set(self.initial)
+        for artifact in available:
+            if artifact not in ARTIFACTS:
+                raise FlowError(f"unknown initial artifact {artifact!r}")
+        for p in self.passes:
+            for artifact in (*p.requires, *p.provides):
+                if artifact not in ARTIFACTS:
+                    raise FlowError(
+                        f"pass {p.name!r} declares unknown artifact "
+                        f"{artifact!r}")
+            missing = [a for a in p.requires if a not in available]
+            if missing:
+                raise FlowError(
+                    f"flow {self.name!r}: pass {p.name!r} requires "
+                    f"{', '.join(missing)} but no earlier pass provides "
+                    f"it (available: {', '.join(sorted(available)) or '-'})")
+            available.update(p.provides)
+            # the decompose short-circuit publishes the unate network
+            # early; account for conditional provides declared nowhere
+            available.update(_CONDITIONAL_PROVIDES.get(p.name, ()))
+
+    # -- execution -------------------------------------------------------
+    def run(self, ctx: FlowContext,
+            checkpoint=None) -> List[PassRecord]:
+        """Execute the pipeline over ``ctx``; returns per-pass records.
+
+        ``checkpoint`` (a :class:`~repro.flow.FlowCheckpoint`) makes the
+        run resumable: artifacts are saved after every completed pass,
+        and a later run with the same checkpoint directory restores them
+        and re-executes only the remaining passes.
+        """
+        records: List[PassRecord] = []
+        completed: List[str] = []
+        if checkpoint is not None and checkpoint.exists():
+            completed = checkpoint.restore(ctx, self)
+            records.extend(
+                PassRecord(name=name, status="resumed",
+                           detail="restored from checkpoint")
+                for name in completed)
+        for p in self.passes[len(completed):]:
+            for artifact in p.requires:
+                if not ctx.has(artifact):
+                    raise FlowError(
+                        f"pass {p.name!r} requires artifact {artifact!r} "
+                        f"which is not available at run time")
+            reason = p.skip_reason(ctx)
+            if reason is not None:
+                records.append(PassRecord(name=p.name, status="skipped",
+                                          detail=reason))
+            else:
+                before = ctx.snapshot_stats()
+                started = time.perf_counter()
+                diagnostics = p.run(ctx) or {}
+                elapsed = time.perf_counter() - started
+                for artifact in p.provides:
+                    if not ctx.has(artifact):
+                        raise FlowError(
+                            f"pass {p.name!r} declared artifact "
+                            f"{artifact!r} but did not set it")
+                records.append(PassRecord(
+                    name=p.name, elapsed_s=elapsed,
+                    stats_delta=ctx.stats_delta(before),
+                    diagnostics=diagnostics))
+            completed.append(p.name)
+            if checkpoint is not None:
+                checkpoint.save(ctx, self, completed)
+        return records
+
+    def __repr__(self) -> str:
+        return f"FlowPipeline({self.name!r}: {' -> '.join(self.pass_names)})"
+
+
+#: Artifacts a pass may set beyond its declared provides, keyed by pass
+#: name (the decompose short-circuit for already-mappable networks).
+_CONDITIONAL_PROVIDES = {"decompose": ("unate_network", "unate_report")}

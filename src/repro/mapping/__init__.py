@@ -6,15 +6,22 @@ from .engine import (
     GateRecord,
     MapperConfig,
     MappingEngine,
+    MappingPlan,
     MappingResult,
+    PlannedGate,
+    apply_rearrangement,
+    materialize_plan,
 )
 from .flows import (
+    FLOW_PASSES,
     FLOW_PRESETS,
     PAPER_H_MAX,
     PAPER_W_MAX,
     FlowResult,
+    build_flow_pipeline,
     domino_map,
     flow_config,
+    flow_passes,
     map_network,
     prepare_network,
     rs_map,
@@ -31,14 +38,21 @@ __all__ = [
     "GateRecord",
     "MapperConfig",
     "MappingEngine",
+    "MappingPlan",
     "MappingResult",
+    "PlannedGate",
+    "apply_rearrangement",
+    "materialize_plan",
     "map_network",
+    "FLOW_PASSES",
     "FLOW_PRESETS",
     "PAPER_H_MAX",
     "PAPER_W_MAX",
     "FlowResult",
+    "build_flow_pipeline",
     "domino_map",
     "flow_config",
+    "flow_passes",
     "prepare_network",
     "rs_map",
     "soi_domino_map",

@@ -33,10 +33,10 @@ Discharge transistors:
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import astuple, dataclass, field
 from typing import Dict, List, Optional
 
+from .._compat import deprecated
 from ..domino.circuit import CircuitCost, DominoCircuit
 from ..domino.gate import DominoGate
 from ..domino.rearrange import rearrange
@@ -137,6 +137,49 @@ class GateRecord:
 
 
 @dataclass
+class PlannedGate:
+    """One gate the DP selected, before post-processing.
+
+    The structure is materialized (no provenance back-pointers left to
+    chase), so a plan pickles cleanly for flow checkpoints; the
+    rearrangement pass rewrites ``structure`` in place of the record.
+    """
+
+    node_id: int
+    structure: Pulldown
+    level: int
+    has_pi: bool
+
+
+@dataclass
+class MappingPlan:
+    """The DP's selection, decoupled from circuit materialization.
+
+    Everything downstream of the DP — series-stack rearrangement,
+    discharge insertion, circuit assembly — is a deterministic function
+    of this plan, which is what lets the flow pipeline run those steps as
+    separate passes (and checkpoint between them) while reproducing
+    :meth:`MappingEngine.run` bit-for-bit.  Orders are load-bearing:
+    ``inputs``, ``outputs`` and ``gates`` are recorded in exactly the
+    traversal order the one-shot materializer used.
+    """
+
+    network_name: str
+    config: MapperConfig
+    cost_model: CostModel
+    #: PI labels in network order
+    inputs: List[str] = field(default_factory=list)
+    #: (po_label, kind, payload): kind "signal" wires payload verbatim,
+    #: kind "const" sets a constant output (payload is the bool)
+    outputs: List[tuple] = field(default_factory=list)
+    #: selected gates in require()-traversal order
+    gates: List[PlannedGate] = field(default_factory=list)
+    #: mapping-node id -> GateRecord for every selected gate
+    gate_records: Dict[int, GateRecord] = field(default_factory=dict)
+    stats: MappingStats = field(default_factory=MappingStats)
+
+
+@dataclass
 class MappingResult:
     """Outcome of a mapping run."""
 
@@ -155,10 +198,9 @@ class MappingResult:
     @property
     def tuples_created(self) -> int:
         """Deprecated alias for ``stats.tuples_created``."""
-        warnings.warn(
+        deprecated(
             "MappingResult.tuples_created is deprecated; read "
-            "result.stats.tuples_created instead", DeprecationWarning,
-            stacklevel=2)
+            "result.stats.tuples_created instead", stacklevel=2)
         return self.stats.tuples_created
 
 
@@ -646,7 +688,20 @@ class MappingEngine:
     # top level
     # ------------------------------------------------------------------
     def run(self) -> MappingResult:
-        """Execute the DP and materialize the mapped circuit."""
+        """Execute the DP and materialize the mapped circuit.
+
+        Equivalent to the staged path the flow pipeline takes —
+        :meth:`run_dp`, :meth:`plan`, :func:`apply_rearrangement`,
+        :func:`materialize_plan` — and implemented as exactly that
+        sequence so the two cannot diverge.
+        """
+        self.run_dp()
+        plan = self.plan()
+        apply_rearrangement(plan)
+        return materialize_plan(plan)
+
+    def run_dp(self) -> "MappingEngine":
+        """Run the per-node DP over the whole network (no circuit yet)."""
         network = self.network
         if self.cache is not None and self.cache.enabled:
             self._cache_prefix = (self.config.fingerprint(),
@@ -664,15 +719,21 @@ class MappingEngine:
         for uid in network.topological_order():
             if network.node(uid).type in (NodeType.AND, NodeType.OR):
                 self._process_node(uid)
-        return self._materialize()
+        return self
 
-    def _materialize(self) -> MappingResult:
+    def plan(self) -> MappingPlan:
+        """Select the gates the mapped circuit needs (post-DP).
+
+        Walks the PO drivers' structures, pulling in referenced gates
+        depth-first, and records PO bindings and selected gates in the
+        exact order the materializer will replay them.
+        """
         network = self.network
-        circuit = DominoCircuit(network.name)
-        for uid in network.pis:
-            circuit.add_input(network.node(uid).label)
+        plan = MappingPlan(network_name=network.name, config=self.config,
+                           cost_model=self.model, stats=self.stats)
+        plan.inputs = [network.node(uid).label for uid in network.pis]
 
-        used: Dict[int, GateRecord] = {}
+        used = plan.gate_records
 
         def require(uid: int) -> GateRecord:
             record = self._gates[uid]
@@ -686,45 +747,76 @@ class MappingEngine:
         for po in network.pos:
             driver = network.node(network.node(po).fanins[0])
             if driver.type is NodeType.PI:
-                circuit.connect_output(network.node(po).label, driver.label)
+                plan.outputs.append((network.node(po).label, "signal",
+                                     driver.label))
             elif driver.is_const:
-                circuit.set_const_output(network.node(po).label,
-                                         driver.type is NodeType.CONST1)
+                plan.outputs.append((network.node(po).label, "const",
+                                     driver.type is NodeType.CONST1))
             elif driver.type in (NodeType.AND, NodeType.OR):
                 record = require(driver.uid)
-                circuit.connect_output(network.node(po).label,
-                                       f"g{record.node_id}")
+                plan.outputs.append((network.node(po).label, "signal",
+                                     f"g{record.node_id}"))
             else:
                 raise MappingError(
                     f"PO {network.node(po).label} driven by unsupported "
                     f"node type {driver.type.value}")
 
-        policy = self.config.ground_policy
-        for uid, record in used.items():
-            structure = record.tuple.structure
-            if self.config.rearrange_gates:
-                structure = rearrange(structure)
-            grounded = (policy == "optimistic"
-                        or (policy == "footless"
-                            and not record.tuple.has_pi))
-            gate = DominoGate.from_structure(
-                name=f"g{uid}",
-                structure=structure,
-                grounded=grounded,
-                level=record.levels,
-                node_id=uid,
-            )
-            circuit.add_gate(gate)
-        circuit.recompute_levels()
+        plan.gates = [PlannedGate(node_id=uid,
+                                  structure=record.tuple.structure,
+                                  level=record.levels,
+                                  has_pi=record.tuple.has_pi)
+                      for uid, record in used.items()]
+        return plan
 
-        result = MappingResult(
-            circuit=circuit,
-            config=self.config,
-            cost_model=self.model,
-            gate_records=dict(used),
-            stats=self.stats,
+
+def apply_rearrangement(plan: MappingPlan) -> int:
+    """RS_Map post-processing: reorder every planned gate's series stacks.
+
+    A no-op (returning 0) unless the plan's config asks for it; otherwise
+    returns the number of gates rewritten.
+    """
+    if not plan.config.rearrange_gates:
+        return 0
+    for planned in plan.gates:
+        planned.structure = rearrange(planned.structure)
+    return len(plan.gates)
+
+
+def materialize_plan(plan: MappingPlan) -> MappingResult:
+    """Insert discharge transistors and assemble the mapped circuit.
+
+    Builds each planned gate via :meth:`DominoGate.from_structure` (which
+    derives footedness and the discharge points the ground policy
+    demands) and wires the circuit in the plan's recorded order.
+    """
+    circuit = DominoCircuit(plan.network_name)
+    for label in plan.inputs:
+        circuit.add_input(label)
+    for po_label, kind, payload in plan.outputs:
+        if kind == "const":
+            circuit.set_const_output(po_label, payload)
+        else:
+            circuit.connect_output(po_label, payload)
+    policy = plan.config.ground_policy
+    for planned in plan.gates:
+        grounded = (policy == "optimistic"
+                    or (policy == "footless" and not planned.has_pi))
+        gate = DominoGate.from_structure(
+            name=f"g{planned.node_id}",
+            structure=planned.structure,
+            grounded=grounded,
+            level=planned.level,
+            node_id=planned.node_id,
         )
-        return result
+        circuit.add_gate(gate)
+    circuit.recompute_levels()
+    return MappingResult(
+        circuit=circuit,
+        config=plan.config,
+        cost_model=plan.cost_model,
+        gate_records=dict(plan.gate_records),
+        stats=plan.stats,
+    )
 
 
 def _structure_gate_refs(structure: Pulldown) -> List[int]:

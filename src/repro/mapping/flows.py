@@ -1,42 +1,46 @@
 """End-to-end mapping flows: the three algorithms compared in the paper.
 
-:func:`map_network` is the single entry point: it runs the synthesis
-front end (decompose -> sweep -> unate conversion -> sweep) on any
-combinational :class:`LogicNetwork`, maps it with a
-:class:`~repro.mapping.engine.MapperConfig` — the single source of truth
-for every mapper knob — and returns a :class:`FlowResult` carrying the
-mapped circuit, the front-end report, instrumentation counters, and the
+:func:`map_network` is the single entry point: it assembles a
+:class:`~repro.flow.FlowPipeline` for the requested flow and executes it
+over a typed :class:`~repro.flow.FlowContext` — synthesis front end
+(decompose -> sweep -> unate conversion), the DP mapper, and the
+post-processing stages (series-stack rearrangement, discharge
+insertion, cost analysis) each run as a named, individually timed pass.
+The returned :class:`FlowResult` carries the mapped circuit, the
+front-end report, instrumentation counters, per-pass records, and the
 wall-clock time.
 
-The paper's three algorithms are thin presets over it:
+The paper's three algorithms are declarative presets over it:
 
-* :func:`domino_map`      — the bulk-CMOS baseline (discharge transistors
-  added by post-processing only, invisible to the optimizer);
-* :func:`rs_map`          — baseline + series-stack rearrangement
-  post-processing (Table I's ``RS_Map``);
-* :func:`soi_domino_map`  — the paper's PBE-aware algorithm (Table II-IV's
+* ``domino`` — the bulk-CMOS baseline (discharge transistors added by
+  post-processing only, invisible to the optimizer);
+* ``rs``     — baseline + series-stack rearrangement post-processing
+  (Table I's ``RS_Map``);
+* ``soi``    — the paper's PBE-aware algorithm (Table II-IV's
   ``SOI_Domino_Map``).
 
-All three share the one synthesis front end, so for a given circuit they
-map the *same* unate network — exactly the paper's experimental setup.
-Each preset is a named entry in :data:`FLOW_PRESETS`; the batch pipeline
-(:mod:`repro.pipeline`) dispatches on those names.
+A preset pins two things: the :class:`MapperConfig` fields that define
+the algorithm (:data:`FLOW_PRESETS`) and the pass list it executes
+(:data:`FLOW_PASSES`).  All three share the one synthesis front end, so
+for a given circuit they map the *same* unate network — exactly the
+paper's experimental setup.  The batch pipeline (:mod:`repro.pipeline`)
+dispatches on the preset names.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .._compat import deprecated
 from ..domino.circuit import CircuitCost
 from ..errors import MappingError
 from ..network import LogicNetwork
 from ..pipeline.metrics import MappingStats
 from ..synth import UnateReport, decompose, sweep, unate_with_sweep
 from .cost import CostModel
-from .engine import MapperConfig, MappingEngine, MappingResult
+from .engine import MapperConfig, MappingResult
 
 #: The paper's pulldown limits (section VI).
 PAPER_W_MAX = 5
@@ -53,6 +57,30 @@ FLOW_PRESETS: Dict[str, Dict[str, object]] = {
     "soi": {"pbe_aware": True},
 }
 
+#: Shared synthesis front end (identical across flows, by construction).
+FRONTEND_PASSES: Tuple[str, ...] = ("decompose", "sweep", "unate")
+
+#: The pass list each preset executes.  ``domino`` and ``soi`` omit the
+#: rearrangement stage their configs disable anyway; ``custom`` (the
+#: ``flow=None`` path) keeps it, gated on ``config.rearrange_gates``.
+FLOW_PASSES: Dict[str, Tuple[str, ...]] = {
+    "domino": (*FRONTEND_PASSES, "dp-map", "discharge", "analyze"),
+    "rs": (*FRONTEND_PASSES, "dp-map", "rearrange", "discharge", "analyze"),
+    "soi": (*FRONTEND_PASSES, "dp-map", "discharge", "analyze"),
+    "custom": (*FRONTEND_PASSES, "dp-map", "rearrange", "discharge",
+               "analyze"),
+}
+
+
+def flow_passes(flow: Optional[str]) -> Tuple[str, ...]:
+    """The pass list of a named flow (``None`` -> the custom list)."""
+    try:
+        return FLOW_PASSES[flow or "custom"]
+    except KeyError:
+        raise MappingError(
+            f"unknown flow {flow!r}; expected one of "
+            f"{', '.join(FLOW_PRESETS)}") from None
+
 
 @dataclass
 class FlowResult:
@@ -64,6 +92,8 @@ class FlowResult:
     flow: str = "custom"
     #: wall-clock seconds for the whole flow (front end + mapping)
     elapsed_s: float = 0.0
+    #: per-pass observability records, in execution order
+    passes: List = field(default_factory=list)
 
     @property
     def circuit(self):
@@ -82,12 +112,38 @@ class FlowResult:
     def config(self) -> MapperConfig:
         return self.mapping.config
 
+    def pass_times(self) -> Dict[str, float]:
+        """Pass name -> wall-clock seconds, for passes that ran."""
+        return {r.name: r.elapsed_s for r in self.passes if r.ran}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (``soidomino map --json``)."""
+        from dataclasses import asdict
+
+        data: Dict[str, object] = {
+            "circuit": self.circuit.name,
+            "flow": self.flow,
+            "elapsed_s": self.elapsed_s,
+            "config": asdict(self.config),
+            "cost": self.cost.as_dict(),
+            "stats": self.stats.as_dict(),
+            "passes": [r.as_dict() for r in self.passes],
+        }
+        if self.unate_report is not None:
+            report = asdict(self.unate_report)
+            report["duplication_ratio"] = self.unate_report.duplication_ratio
+            data["unate_report"] = report
+        else:
+            data["unate_report"] = None
+        return data
+
 
 def prepare_network(network: LogicNetwork):
     """Run the synthesis front end; returns ``(unate_network, report)``.
 
     The result satisfies ``unate_network.is_mappable()`` and is the common
-    input handed to all three mappers.
+    input handed to all three mappers.  (The flow pipeline's front-end
+    passes execute this exact recipe stage by stage.)
     """
     if network.is_mappable():
         return network, None
@@ -120,6 +176,19 @@ def flow_config(flow: Optional[str],
     return replace(config, **preset)
 
 
+def build_flow_pipeline(flow: Optional[str] = None,
+                        passes: Optional[Sequence[str]] = None):
+    """The :class:`~repro.flow.FlowPipeline` a flow invocation executes.
+
+    ``passes`` overrides the preset's pass list (power users composing
+    their own stage sequence); the default is :func:`flow_passes`.
+    """
+    from ..flow import FlowPipeline
+
+    return FlowPipeline(passes if passes is not None else flow_passes(flow),
+                        name=flow or "custom")
+
+
 def map_network(network: LogicNetwork,
                 flow: Optional[str] = None,
                 cost_model: Optional[CostModel] = None,
@@ -128,7 +197,9 @@ def map_network(network: LogicNetwork,
                 w_max: int = PAPER_W_MAX,
                 h_max: int = PAPER_H_MAX,
                 cache=None,
-                stats: Optional[MappingStats] = None) -> FlowResult:
+                stats: Optional[MappingStats] = None,
+                passes: Optional[Sequence[str]] = None,
+                checkpoint_dir: Optional[str] = None) -> FlowResult:
     """Map ``network`` end-to-end: the unified entry point.
 
     Parameters
@@ -148,22 +219,36 @@ def map_network(network: LogicNetwork,
         Optional :class:`~repro.pipeline.TreeCache` shared across runs.
     stats:
         Optional :class:`~repro.pipeline.MappingStats` to accumulate into.
+    passes:
+        Optional explicit pass list overriding the flow's preset.
+    checkpoint_dir:
+        Optional directory for checkpoint/resume: artifacts are
+        serialized after every pass, and a rerun pointing at the same
+        directory resumes after the last completed pass.
     """
     if isinstance(flow, CostModel):  # pre-1.1 map_network(net, cost_model)
-        warnings.warn(
+        deprecated(
             "map_network(network, cost_model) is deprecated; pass "
             "cost_model=... by keyword (the second positional argument "
-            "is now the flow name)", DeprecationWarning, stacklevel=2)
+            "is now the flow name)")
         cost_model, flow = flow, None
+    from ..flow import FlowCheckpoint, FlowContext
+
     started = time.perf_counter()
     effective = flow_config(flow, config, w_max=w_max, h_max=h_max)
-    unate, report = prepare_network(network)
     model = cost_model if cost_model is not None else CostModel()
-    engine = MappingEngine(unate, model, effective, cache=cache, stats=stats)
-    mapping = engine.run()
-    return FlowResult(mapping=mapping, unate_report=report,
+    pipeline = build_flow_pipeline(flow, passes)
+    ctx = FlowContext.for_network(network, effective, model,
+                                  flow=flow or "custom", cache=cache,
+                                  stats=stats)
+    checkpoint = (FlowCheckpoint(checkpoint_dir)
+                  if checkpoint_dir is not None else None)
+    records = pipeline.run(ctx, checkpoint=checkpoint)
+    return FlowResult(mapping=ctx.get("mapping"),
+                      unate_report=ctx.artifacts.get("unate_report"),
                       flow=flow or "custom",
-                      elapsed_s=time.perf_counter() - started)
+                      elapsed_s=time.perf_counter() - started,
+                      passes=records)
 
 
 def domino_map(network: LogicNetwork,
@@ -188,10 +273,11 @@ def rs_map(network: LogicNetwork,
            cache=None) -> FlowResult:
     """``RS_Map``: the baseline plus series-stack rearrangement.
 
-    Identical DP to :func:`domino_map`, but every materialized gate is
-    post-processed by :func:`repro.domino.rearrange.rearrange` before the
-    discharge transistors are inserted, sinking parallel stacks toward
-    ground (Table I).
+    Identical DP to :func:`domino_map`, but every selected gate is
+    post-processed by the ``rearrange`` pass
+    (:func:`repro.domino.rearrange.rearrange`) before the discharge
+    transistors are inserted, sinking parallel stacks toward ground
+    (Table I).
     """
     return map_network(network, flow="rs", cost_model=cost_model,
                        config=config, w_max=w_max, h_max=h_max, cache=cache)
@@ -227,10 +313,9 @@ def soi_domino_map(network: LogicNetwork,
             f"soi_domino_map() got unexpected keyword arguments "
             f"{sorted(unknown)}")
     if legacy:
-        warnings.warn(
+        deprecated(
             f"soi_domino_map({', '.join(sorted(legacy))}=...) is "
-            "deprecated; pass config=MapperConfig(...) instead",
-            DeprecationWarning, stacklevel=2)
+            "deprecated; pass config=MapperConfig(...) instead")
         config = flow_config(None, config, w_max=w_max, h_max=h_max)
         config = replace(config, **legacy)
     return map_network(network, flow="soi", cost_model=cost_model,

@@ -49,6 +49,8 @@ DEFAULT_ORDERINGS = ("paper", "exhaustive")
 DEFAULT_MODES = TABLE_MODES
 
 #: Keys every result row must carry (CI asserts them on the artifact).
+#: ``pass_times`` (per-flow-pass wall clock) is additive and therefore
+#: not required of older payloads passed via ``--baseline``.
 RESULT_KEYS = ("circuit", "flow", "ordering", "table_mode", "ok",
                "elapsed_s", "digest", "tuples", "pruned", "bound_skips",
                "combines", "cache_hits", "cache_requests", "tuples_per_s",
@@ -102,6 +104,7 @@ def _result_row(result, repeats_elapsed: List[float]) -> Dict:
         "ok": result.ok,
         "elapsed_s": elapsed,
         "digest": result.digest,
+        "pass_times": dict(result.pass_times or {}),
         "tuples": 0, "pruned": 0, "bound_skips": 0, "combines": 0,
         "cache_hits": 0, "cache_requests": 0,
         "tuples_per_s": 0.0,
@@ -136,6 +139,10 @@ def _aggregate(rows: List[Dict]) -> Dict:
         group["tuples"] += r["tuples"]
     heavy = [r for r in ok_rows
              if r["table_mode"] == "pareto" or r["ordering"] == "exhaustive"]
+    pass_time_s: Dict[str, float] = {}
+    for r in ok_rows:
+        for name, seconds in r.get("pass_times", {}).items():
+            pass_time_s[name] = pass_time_s.get(name, 0.0) + seconds
     return {
         "tasks": len(rows),
         "failures": len(rows) - len(ok_rows),
@@ -145,6 +152,7 @@ def _aggregate(rows: List[Dict]) -> Dict:
         "bound_skips": sum(r["bound_skips"] for r in ok_rows),
         "tuples_per_s": tuples / task_time if task_time else 0.0,
         "tuple_heavy_task_time_s": sum(r["elapsed_s"] for r in heavy),
+        "pass_time_s": pass_time_s,
         "by_config": by_config,
     }
 

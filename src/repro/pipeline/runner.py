@@ -16,8 +16,8 @@ pickle across a :class:`concurrent.futures.ProcessPoolExecutor`.
 
 Workers return :class:`BatchResult` values: the circuit *cost* and a
 netlist digest (not the circuit object — a mapped c7552 is megabytes),
-the run's :class:`~repro.pipeline.MappingStats`, wall time, and the
-error string for failed tasks.  Results come back in task order and are
+the run's :class:`~repro.pipeline.MappingStats`, per-flow-pass wall
+times, total wall time, and the error string for failed tasks.  Results come back in task order and are
 bit-identical between pool and serial execution: each task is a
 deterministic function of its fields, and cache reuse reconstructs DP
 tables exactly (see ``pipeline/cache.py``).
@@ -25,14 +25,13 @@ tables exactly (see ``pipeline/cache.py``).
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..domino.circuit import CircuitCost
 from ..mapping import CostModel, MapperConfig, map_network
@@ -70,6 +69,8 @@ class BatchResult:
     stats: Optional[MappingStats] = None
     #: sha256 of the mapped transistor netlist (bit-identity witness)
     digest: Optional[str] = None
+    #: pass name -> wall-clock seconds for the flow passes that ran
+    pass_times: Optional[Dict[str, float]] = None
     elapsed_s: float = 0.0
     error: Optional[str] = None
     #: "pool", "serial", or "serial-fallback" (pool gave up on this task)
@@ -140,12 +141,9 @@ def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
         result = map_network(network, flow=task.flow,
                              cost_model=task.cost_model,
                              config=task.config, cache=cache)
-        from ..io import circuit_netlist
-
-        digest = hashlib.sha256(
-            circuit_netlist(result.circuit).encode()).hexdigest()
         return BatchResult(task=task, cost=result.cost, stats=result.stats,
-                           digest=digest,
+                           digest=result.circuit.digest(),
+                           pass_times=result.pass_times(),
                            elapsed_s=time.perf_counter() - started,
                            mode=mode)
     except Exception as exc:  # noqa: BLE001 - one bad task must not kill a sweep

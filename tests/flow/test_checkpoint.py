@@ -1,0 +1,119 @@
+"""Checkpoint/resume: mid-flow serialization and safe-resume refusals."""
+
+import json
+
+import pytest
+
+from repro.bench_suite import load_circuit
+from repro.errors import FlowError
+from repro.flow import CHECKPOINT_SCHEMA, FlowCheckpoint
+from repro.flow.passes import DischargePass
+from repro.mapping import MapperConfig, flow_passes, map_network
+
+CONFIG = MapperConfig(ordering="paper", pareto=False)
+
+
+def _boom(self, ctx):
+    raise RuntimeError("simulated crash before discharge insertion")
+
+
+def _interrupt(monkeypatch, tmp_path, circuit="cm150"):
+    """Run the soi flow but crash in ``discharge``; returns the ckpt dir."""
+    ckpt_dir = tmp_path / "ckpt"
+    with monkeypatch.context() as patch:
+        patch.setattr(DischargePass, "run", _boom)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            map_network(load_circuit(circuit), flow="soi", config=CONFIG,
+                        checkpoint_dir=ckpt_dir)
+    return ckpt_dir
+
+
+def test_interrupted_run_leaves_restorable_checkpoint(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    ckpt = FlowCheckpoint(ckpt_dir)
+    assert ckpt.exists()
+    manifest = ckpt.load_manifest()
+    assert manifest["schema"] == CHECKPOINT_SCHEMA
+    assert manifest["flow"] == "soi"
+    assert manifest["passes"] == list(flow_passes("soi"))
+    # everything up to the crash completed; the plan artifact is on disk
+    assert manifest["completed"] == ["decompose", "sweep", "unate", "dp-map"]
+    assert "plan" in manifest["artifacts"]
+    assert (ckpt_dir / manifest["artifacts"]["plan"]).is_file()
+
+
+def test_resume_matches_uninterrupted_digest(monkeypatch, tmp_path):
+    """The satellite's core guarantee: resume == one uninterrupted run."""
+    uninterrupted = map_network(load_circuit("cm150"), flow="soi",
+                                config=CONFIG)
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    resumed = map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                          checkpoint_dir=ckpt_dir)
+    assert resumed.circuit.digest() == uninterrupted.circuit.digest()
+    statuses = {r.name: r.status for r in resumed.passes}
+    assert statuses == {"decompose": "resumed", "sweep": "resumed",
+                        "unate": "resumed", "dp-map": "resumed",
+                        "discharge": "ok", "analyze": "ok"}
+
+
+def test_completed_run_resumes_everything(tmp_path):
+    ckpt_dir = tmp_path / "ckpt"
+    first = map_network(load_circuit("mux"), flow="soi", config=CONFIG,
+                        checkpoint_dir=ckpt_dir)
+    again = map_network(load_circuit("mux"), flow="soi", config=CONFIG,
+                        checkpoint_dir=ckpt_dir)
+    assert all(r.status == "resumed" for r in again.passes)
+    assert again.circuit.digest() == first.circuit.digest()
+
+
+def test_resume_refuses_different_flow(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    with pytest.raises(FlowError, match="was taken for flow"):
+        map_network(load_circuit("cm150"), flow="domino", config=CONFIG,
+                    checkpoint_dir=ckpt_dir)
+
+
+def test_resume_refuses_different_pass_list(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    with pytest.raises(FlowError, match="pass list"):
+        map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                    passes=flow_passes("rs"), checkpoint_dir=ckpt_dir)
+
+
+def test_resume_refuses_different_config(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    with pytest.raises(FlowError, match="different .*config"):
+        map_network(load_circuit("cm150"), flow="soi",
+                    config=MapperConfig(ordering="exhaustive"),
+                    checkpoint_dir=ckpt_dir)
+
+
+def test_resume_refuses_corrupt_artifact(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    manifest = FlowCheckpoint(ckpt_dir).load_manifest()
+    (ckpt_dir / manifest["artifacts"]["plan"]).write_bytes(b"not a pickle")
+    with pytest.raises(FlowError, match="cannot load checkpoint artifact"):
+        map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                    checkpoint_dir=ckpt_dir)
+
+
+def test_resume_refuses_wrong_schema(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    ckpt = FlowCheckpoint(ckpt_dir)
+    manifest = ckpt.load_manifest()
+    manifest["schema"] = "soidomino-flow-checkpoint/999"
+    ckpt.manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(FlowError, match="schema"):
+        map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                    checkpoint_dir=ckpt_dir)
+
+
+def test_resume_refuses_non_prefix_completed(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    ckpt = FlowCheckpoint(ckpt_dir)
+    manifest = ckpt.load_manifest()
+    manifest["completed"] = ["sweep", "decompose"]
+    ckpt.manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(FlowError, match="not a\\s+prefix"):
+        map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                    checkpoint_dir=ckpt_dir)

@@ -1,0 +1,118 @@
+"""Pass registry, typed artifacts, and front-end short-circuit tests."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import (
+    ARTIFACTS,
+    PASS_REGISTRY,
+    FlowContext,
+    available_passes,
+    get_pass,
+)
+from repro.mapping import CostModel, MapperConfig, flow_passes
+from repro.network import network_from_expression
+
+EXPECTED_PASSES = ("decompose", "sweep", "unate", "dp-map", "rearrange",
+                   "discharge", "analyze")
+
+
+def _ctx(network=None, **config):
+    ctx = FlowContext(config=MapperConfig(**config), cost_model=CostModel())
+    if network is not None:
+        ctx.set("network", network)
+    return ctx
+
+
+def test_registry_contains_every_stage():
+    assert tuple(PASS_REGISTRY) == EXPECTED_PASSES
+    assert [p.name for p in available_passes()] == list(EXPECTED_PASSES)
+
+
+def test_every_pass_declares_artifacts_and_description():
+    for p in available_passes():
+        assert p.description
+        for artifact in (*p.requires, *p.provides):
+            assert artifact in ARTIFACTS
+
+
+def test_get_pass_unknown_name():
+    with pytest.raises(FlowError, match="unknown pass"):
+        get_pass("no-such-pass")
+
+
+def test_flow_passes_presets():
+    assert flow_passes("rs") == ("decompose", "sweep", "unate", "dp-map",
+                                 "rearrange", "discharge", "analyze")
+    assert "rearrange" not in flow_passes("domino")
+    assert "rearrange" not in flow_passes("soi")
+    assert flow_passes(None) == flow_passes("custom")
+
+
+def test_context_rejects_wrong_artifact_type():
+    ctx = _ctx()
+    with pytest.raises(FlowError, match="must be LogicNetwork"):
+        ctx.set("network", "not a network")
+
+
+def test_context_rejects_unknown_artifact():
+    ctx = _ctx()
+    with pytest.raises(FlowError, match="unknown artifact"):
+        ctx.set("netwrk", network_from_expression("a * b"))
+
+
+def test_context_rejects_none_for_required_artifact():
+    ctx = _ctx()
+    with pytest.raises(FlowError, match="cannot be None"):
+        ctx.set("network", None)
+    ctx.set("unate_report", None)  # declared optional
+
+
+def test_context_get_missing_artifact():
+    ctx = _ctx()
+    with pytest.raises(FlowError, match="not available"):
+        ctx.get("mapping")
+
+
+def test_decompose_short_circuits_mappable_network():
+    """An already-mappable input bypasses the whole front end."""
+    network = network_from_expression("a * b")
+    assert network.is_mappable()
+    ctx = _ctx(network)
+    diag = get_pass("decompose").run(ctx)
+    assert diag["already_mappable"] is True
+    assert ctx.get("unate_network") is network
+    assert ctx.artifacts["unate_report"] is None
+    for name in ("sweep", "unate"):
+        assert get_pass(name).skip_reason(ctx) is not None
+
+
+def test_frontend_runs_for_binate_network():
+    network = network_from_expression("!(a * b) * c")  # INV needs conversion
+    assert not network.is_mappable()
+    ctx = _ctx(network)
+    assert get_pass("decompose").run(ctx)["already_mappable"] is False
+    assert get_pass("sweep").skip_reason(ctx) is None
+    get_pass("sweep").run(ctx)
+    diag = get_pass("unate").run(ctx)
+    assert ctx.get("unate_network").is_mappable()
+    assert "unate_gates" in diag
+
+
+def test_rearrange_skips_unless_configured():
+    ctx = _ctx(rearrange_gates=False)
+    assert "rearrange_gates" in get_pass("rearrange").skip_reason(ctx)
+    ctx_on = _ctx(rearrange_gates=True)
+    assert get_pass("rearrange").skip_reason(ctx_on) is None
+
+
+def test_stats_delta_tracks_dp_work():
+    network = network_from_expression("(a + b) * (c + d)")
+    ctx = _ctx(network)
+    get_pass("decompose").run(ctx)
+    before = ctx.snapshot_stats()
+    get_pass("dp-map").run(ctx)
+    delta = ctx.stats_delta(before)
+    assert delta["tuples_created"] > 0
+    assert delta["nodes_processed"] > 0
+    assert ctx.has("plan")

@@ -125,6 +125,75 @@ def test_bench_check_unreadable_reports_cleanly(tmp_path, capsys):
     assert "error: cannot read" in capsys.readouterr().err
 
 
+def test_map_json_output(capsys):
+    import json
+
+    assert main(["map", "mux", "-a", "soi", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["circuit"] == "mux"
+    assert payload["flow"] == "soi"
+    assert payload["cost_objective"] == "area"
+    assert len(payload["digest"]) == 64
+    assert payload["config"]["pbe_aware"] is True
+    assert payload["stats"]["tuples_created"] > 0
+    names = [p["name"] for p in payload["passes"]]
+    assert names == ["decompose", "sweep", "unate", "dp-map", "discharge",
+                     "analyze"]
+    assert all(p["status"] == "ok" for p in payload["passes"])
+
+
+def test_map_json_includes_netlist_when_asked(capsys):
+    import json
+
+    assert main(["map", "mux", "--json", "--netlist"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert ".subckt" in payload["netlist"]
+
+
+def test_map_text_output_shows_pass_timings(capsys):
+    assert main(["map", "mux", "-a", "soi"]) == 0
+    out = capsys.readouterr().out
+    assert "passes:" in out
+    assert "dp-map=" in out
+
+
+def test_map_checkpoint_resume(tmp_path, capsys):
+    import json
+
+    ckpt = tmp_path / "ckpt"
+    assert main(["map", "mux", "-a", "soi", "--checkpoint", str(ckpt),
+                 "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert (ckpt / "manifest.json").is_file()
+    assert main(["map", "mux", "-a", "soi", "--checkpoint", str(ckpt),
+                 "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["digest"] == first["digest"]
+    assert all(p["status"] == "resumed" for p in second["passes"])
+
+
+def test_passes_listing(capsys):
+    assert main(["passes"]) == 0
+    out = capsys.readouterr().out
+    assert "registered passes:" in out
+    for name in ("decompose", "sweep", "unate", "dp-map", "rearrange",
+                 "discharge", "analyze"):
+        assert name in out
+    assert "flow pass lists:" in out
+
+
+def test_passes_json(capsys):
+    import json
+
+    assert main(["passes", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = [p["name"] for p in payload["passes"]]
+    assert "dp-map" in names
+    assert payload["flows"]["rs"] == ["decompose", "sweep", "unate",
+                                      "dp-map", "rearrange", "discharge",
+                                      "analyze"]
+
+
 def test_error_reported_cleanly(capsys):
     assert main(["map", "not-a-circuit"]) == 2
     assert "error:" in capsys.readouterr().err

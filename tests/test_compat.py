@@ -1,0 +1,60 @@
+"""The consolidated deprecation shims: every legacy spelling still warns.
+
+All three shims route through :func:`repro._compat.deprecated`, so this
+module is the one place asserting (a) the helper itself behaves, and
+(b) each legacy surface still emits its ``DeprecationWarning`` with the
+message users have been seeing.
+"""
+
+import warnings
+
+import pytest
+
+from repro._compat import deprecated
+from repro.mapping import CostModel, map_network, soi_domino_map
+from repro.network import network_from_expression
+
+
+def _net():
+    return network_from_expression("(a + b) * c")
+
+
+def test_helper_emits_deprecation_warning_at_caller():
+    with pytest.warns(DeprecationWarning, match="old_thing"):
+        deprecated("old_thing is deprecated; use new_thing instead",
+                   stacklevel=1)
+
+
+def test_helper_is_silent_under_simplefilter_ignore():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        deprecated("suppressed", stacklevel=1)
+
+
+def test_map_network_positional_cost_model_warns():
+    # pre-1.1 spelling: map_network(net, cost_model) with the model in
+    # the (now flow-name) second positional slot
+    with pytest.warns(DeprecationWarning, match="cost_model"):
+        result = map_network(_net(), CostModel())
+    assert result.flow == "custom"
+    assert len(result.circuit) > 0
+
+
+def test_soi_domino_map_legacy_kwargs_warn():
+    with pytest.warns(DeprecationWarning, match="ordering"):
+        result = soi_domino_map(_net(), ordering="adverse")
+    assert result.config.ordering == "adverse"
+
+
+def test_tuples_created_alias_warns_and_matches_stats():
+    result = map_network(_net(), flow="soi")
+    with pytest.warns(DeprecationWarning, match="tuples_created"):
+        legacy = result.mapping.tuples_created
+    assert legacy == result.stats.tuples_created
+
+
+def test_modern_spellings_stay_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        result = map_network(_net(), flow="soi", cost_model=CostModel())
+        assert result.stats.tuples_created > 0
