@@ -77,6 +77,15 @@ from .mapping import (
     rs_map,
     soi_domino_map,
 )
+from .obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    batch_report,
+    flow_report,
+    prometheus_text,
+    write_trace,
+)
 from .pipeline import (
     BatchReport,
     BatchResult,
@@ -148,5 +157,12 @@ __all__ = [
     "BatchTask",
     "MappingStats",
     "TreeCache",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "batch_report",
+    "flow_report",
+    "prometheus_text",
+    "write_trace",
     "__version__",
 ]

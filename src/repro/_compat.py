@@ -2,25 +2,64 @@
 
 Every legacy API surface the package still honours funnels through
 :func:`deprecated`, so the warning category, the ``stacklevel``
-arithmetic, and the message style stay consistent — and a grep for
-``_compat.deprecated`` enumerates every shim left to retire.
+arithmetic, and the message style stay consistent — and
+:data:`SHIMS` enumerates every shim left to retire: its legacy
+spelling, the replacement the warning names, and the release the shim
+is scheduled to disappear in.  ``tests/test_compat.py`` asserts the
+table and the emitted warnings agree.
 """
 
 from __future__ import annotations
 
 import warnings
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 #: Default stacklevel: the caller of the shimmed public function.
 #: (1 = deprecated(), 2 = the shim itself, 3 = the user's call site.)
 _CALLER = 3
 
 
-def deprecated(message: str, *, stacklevel: int = _CALLER) -> None:
+@dataclass(frozen=True)
+class Shim:
+    """One legacy spelling still honoured, and its retirement plan."""
+
+    #: the legacy spelling users may still have in code
+    name: str
+    #: what the deprecation warning tells them to use instead
+    replacement: str
+    #: the release this shim is scheduled to be removed in
+    remove_in: str
+
+
+#: Every deprecation shim left in the package.  Each entry corresponds
+#: to exactly one ``deprecated(...)`` call site; retiring a shim means
+#: deleting both the call site and its row here.
+SHIMS: Tuple[Shim, ...] = (
+    Shim(name="map_network(network, cost_model)  # positional model",
+         replacement="map_network(network, cost_model=...)",
+         remove_in="0.5"),
+    Shim(name="soi_domino_map(ordering=|ground_policy=|pareto=|"
+              "duplication=...)",
+         replacement="soi_domino_map(config=MapperConfig(...))",
+         remove_in="0.5"),
+    Shim(name="MappingResult.tuples_created",
+         replacement="MappingResult.stats.tuples_created",
+         remove_in="0.5"),
+)
+
+
+def deprecated(message: str, *, remove_in: Optional[str] = None,
+               stacklevel: int = _CALLER) -> None:
     """Emit the package-standard :class:`DeprecationWarning`.
 
     ``message`` should name the legacy spelling and its replacement
-    ("X is deprecated; use Y instead").  ``stacklevel`` defaults to the
-    user's call site when called directly from a shim function; property
-    shims (one frame shallower) pass ``stacklevel=2``.
+    ("X is deprecated; use Y instead"); ``remove_in`` appends the
+    scheduled removal release, matching the shim's :data:`SHIMS` row.
+    ``stacklevel`` defaults to the user's call site when called directly
+    from a shim function; property shims (one frame shallower) pass
+    ``stacklevel=2``.
     """
+    if remove_in is not None:
+        message = f"{message} (scheduled for removal in {remove_in})"
     warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

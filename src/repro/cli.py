@@ -10,11 +10,17 @@ Subcommands
 ``tables``   reproduce the paper's Tables I-IV;
 ``circuits`` list the built-in benchmark suite;
 ``passes``   list the flow-pass registry and the preset pass lists;
+``metrics``  map a circuit and dump its metrics registry (Prometheus
+             text exposition, or JSON with ``--json``);
 ``pbe``      run the PBE stress simulator on a mapped circuit.
 
-``map`` speaks JSON with ``--json`` (cost, stats, per-pass records,
-netlist digest), like ``batch``/``bench``, and supports checkpoint/resume
-via ``--checkpoint DIR``.
+``map``, ``batch`` and ``bench`` all speak the unified
+``soidomino-report/2`` JSON schema (:mod:`repro.obs.report`) via
+``--json`` / their payload files, and all accept ``--trace FILE`` to
+export the run's span tree — ``.json``/``.trace`` writes Chrome
+``trace_event`` format (load in Perfetto or ``chrome://tracing``),
+``.jsonl`` writes one span per line.  ``map`` additionally supports
+checkpoint/resume via ``--checkpoint DIR``.
 """
 
 from __future__ import annotations
@@ -51,6 +57,19 @@ def _cost_model(cost: str, k: float):
     return DepthCost()
 
 
+def _export_trace(spans, path: str, *, quiet: bool = False) -> None:
+    """Write span trees to ``path``; format inferred from the extension.
+
+    The confirmation line goes to stderr when ``quiet`` (JSON mode:
+    stdout must stay machine-parseable).
+    """
+    from .obs import write_trace
+
+    fmt = write_trace(spans, path)
+    print(f"trace:     {path} ({fmt})",
+          file=sys.stderr if quiet else sys.stdout)
+
+
 def _cmd_map(args) -> int:
     network = _load_network(args.circuit)
     model = _cost_model(args.cost, args.k)
@@ -65,13 +84,17 @@ def _cmd_map(args) -> int:
                          checkpoint_dir=args.checkpoint)
     if profiler is not None:
         profiler.disable()
+    if args.trace:
+        _export_trace([result.trace] if result.trace else [],
+                      args.trace, quiet=args.json)
     if args.json:
         import json
 
-        payload = result.as_dict()
-        payload["input"] = network_stats(network).as_dict()
-        payload["cost_objective"] = args.cost
-        payload["digest"] = result.circuit.digest()
+        from .obs import flow_report
+
+        payload = flow_report(result, cost_objective=args.cost,
+                              input_stats=network_stats(network).as_dict(),
+                              digest=result.circuit.digest())
         if args.netlist:
             payload["netlist"] = circuit_netlist(result.circuit)
         if args.dot:
@@ -118,6 +141,17 @@ def _cmd_batch(args) -> int:
         circuits=args.circuits or None, flows=flows,
         cost_models=[_cost_model(args.cost, args.k)])
     report = runner.run_serial(tasks) if args.serial else runner.run(tasks)
+
+    if args.trace:
+        _export_trace([report.build_trace()], args.trace, quiet=args.json)
+    if args.json:
+        import json
+
+        from .obs import batch_report
+
+        print(json.dumps(batch_report(report, cost_objective=args.cost),
+                         indent=1))
+        return 0 if report.ok else 1
 
     headers = ["circuit", "flow", "T_total", "T_disch", "#G", "L",
                "tuples", "pruned", "combines", "cache", "time_s"]
@@ -168,13 +202,21 @@ def _cmd_bench(args) -> int:
                   f"task_time={payload['aggregate']['task_time_s']:.2f}s")
         return 0 if not problems else 1
 
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     payload = run_bench(circuits=args.circuits or None,
                         flows=args.algorithm or ["soi"],
                         orderings=args.orderings,
                         modes=args.modes,
                         jobs=args.jobs,
                         use_cache=args.cache,
-                        repeat=args.repeat)
+                        repeat=args.repeat,
+                        tracer=tracer)
+    if tracer is not None:
+        _export_trace(tracer.roots, args.trace)
     if args.baseline:
         try:
             baseline = load_payload(args.baseline)
@@ -268,6 +310,21 @@ def _cmd_passes(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from .obs import prometheus_text
+
+    network = _load_network(args.circuit)
+    result = map_network(network, flow=args.algorithm,
+                         cost_model=_cost_model(args.cost, args.k))
+    if args.json:
+        import json
+
+        print(json.dumps(result.metrics.as_dict(), indent=1))
+        return 0
+    sys.stdout.write(prometheus_text(result.metrics))
+    return 0
+
+
 def _cmd_pbe(args) -> int:
     network = _load_network(args.circuit)
     result = map_network(network, flow=args.algorithm)
@@ -303,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--json", action="store_true",
                        help="emit the result (cost, stats, per-pass "
                             "records, digest) as JSON")
+    p_map.add_argument("--trace", metavar="FILE", default=None,
+                       help="export the run's span tree: .json/.trace = "
+                            "Chrome trace_event (Perfetto), .jsonl = "
+                            "span-per-line")
     p_map.add_argument("--checkpoint", metavar="DIR", default=None,
                        help="flow checkpoint directory: artifacts are "
                             "saved after every pass and a rerun resumes "
@@ -334,6 +395,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the tree-level memoization cache")
     p_batch.add_argument("--serial", action="store_true",
                          help="force in-process serial execution")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the unified batch report as JSON")
+    p_batch.add_argument("--trace", metavar="FILE", default=None,
+                         help="export the stitched batch span tree "
+                              "(.json/.trace = Chrome, .jsonl = lines)")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_bench = sub.add_parser(
@@ -367,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--check", metavar="PAYLOAD",
                          help="validate an existing payload's schema and "
                               "exit (runs no benchmark)")
+    p_bench.add_argument("--trace", metavar="FILE", default=None,
+                         help="export the bench span tree "
+                              "(.json/.trace = Chrome, .jsonl = lines)")
     p_bench.set_defaults(func=_cmd_bench)
 
     p_tab = sub.add_parser("tables", help="reproduce the paper's tables")
@@ -385,6 +454,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_passes.add_argument("--json", action="store_true",
                           help="emit the registry as JSON")
     p_passes.set_defaults(func=_cmd_passes)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="map a circuit and dump its metrics registry")
+    p_metrics.add_argument("circuit",
+                           help="benchmark name or .bench/.blif/.pla file")
+    p_metrics.add_argument("-a", "--algorithm", choices=_FLOW_CHOICES,
+                           default="soi")
+    p_metrics.add_argument("-c", "--cost",
+                           choices=["area", "clock", "depth"],
+                           default="area")
+    p_metrics.add_argument("-k", type=float, default=2.0,
+                           help="clock-transistor weight for --cost clock")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="emit the registry as JSON instead of "
+                                "Prometheus text exposition")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_pbe = sub.add_parser("pbe", help="stress a mapped circuit for PBE")
     p_pbe.add_argument("circuit")

@@ -45,6 +45,10 @@ class FlowError(ReproError):
     """A flow pipeline is malformed or a checkpoint cannot be resumed."""
 
 
+class ObsError(ReproError):
+    """An observability instrument is misused (metric type/bucket clash)."""
+
+
 class StructureError(ReproError):
     """A pulldown structure tree is malformed or violates W/H limits."""
 

@@ -21,6 +21,7 @@ from ..errors import FlowError
 from ..mapping.cost import CostModel
 from ..mapping.engine import MapperConfig, MappingPlan, MappingResult
 from ..network import LogicNetwork
+from ..obs import MetricsRegistry, Tracer
 from ..pipeline.metrics import MappingStats
 from ..synth import UnateReport
 
@@ -71,17 +72,28 @@ class FlowContext:
     flow: str = "custom"
     cache: Any = None
     stats: MappingStats = field(default_factory=MappingStats)
+    #: span tracer the pipeline (pass spans) and engine (node spans)
+    #: record into; always present so instrumentation never branches
+    tracer: Tracer = field(default_factory=Tracer)
+    #: typed metrics registry the run publishes into
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     artifacts: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def for_network(cls, network: LogicNetwork, config: MapperConfig,
                     cost_model: CostModel, *, flow: str = "custom",
                     cache: Any = None,
-                    stats: Optional[MappingStats] = None) -> "FlowContext":
+                    stats: Optional[MappingStats] = None,
+                    tracer: Optional[Tracer] = None,
+                    metrics: Optional[MetricsRegistry] = None
+                    ) -> "FlowContext":
         """The standard starting context: one ``network`` artifact."""
         ctx = cls(config=config, cost_model=cost_model, flow=flow,
                   cache=cache,
-                  stats=stats if stats is not None else MappingStats())
+                  stats=stats if stats is not None else MappingStats(),
+                  tracer=tracer if tracer is not None else Tracer(),
+                  metrics=(metrics if metrics is not None
+                           else MetricsRegistry()))
         ctx.set("network", network)
         return ctx
 

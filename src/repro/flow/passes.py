@@ -172,7 +172,8 @@ class DPMapPass(Pass):
 
     def run(self, ctx):
         engine = MappingEngine(ctx.get("unate_network"), ctx.cost_model,
-                               ctx.config, cache=ctx.cache, stats=ctx.stats)
+                               ctx.config, cache=ctx.cache, stats=ctx.stats,
+                               tracer=ctx.tracer, metrics=ctx.metrics)
         engine.run_dp()
         plan = engine.plan()
         ctx.set("plan", plan)

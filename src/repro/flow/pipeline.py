@@ -5,18 +5,20 @@ Validation is static: walking the list from the initial artifacts, every
 pass's ``requires`` must be provided by an earlier pass (or be present
 at the start), so a misassembled flow fails before any work happens.
 
-Execution records one :class:`PassRecord` per pass — wall-clock time,
-the movement of every :class:`~repro.pipeline.MappingStats` counter
-during the pass, and the pass's own structured diagnostics — and these
-records surface on :attr:`FlowResult.passes`, ``soidomino map --json``,
-and the bench harness.  With a :class:`~repro.flow.FlowCheckpoint`
+Execution opens one :class:`~repro.obs.Span` per pass on the context's
+tracer and records one :class:`PassRecord` — wall-clock time (the
+span's duration), the movement of every
+:class:`~repro.pipeline.MappingStats` counter during the pass, and the
+pass's own structured diagnostics.  Records surface on
+:attr:`FlowResult.passes`, ``soidomino map --json``, and the bench
+harness; the span tree surfaces on :attr:`FlowResult.trace` and the
+CLI's ``--trace FILE`` exports.  With a :class:`~repro.flow.FlowCheckpoint`
 attached, artifacts are serialized after every pass and a re-run resumes
 from the last completed one.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -150,18 +152,25 @@ class FlowPipeline:
                 records.append(PassRecord(name=p.name, status="skipped",
                                           detail=reason))
             else:
-                before = ctx.snapshot_stats()
-                started = time.perf_counter()
-                diagnostics = p.run(ctx) or {}
-                elapsed = time.perf_counter() - started
-                for artifact in p.provides:
-                    if not ctx.has(artifact):
-                        raise FlowError(
-                            f"pass {p.name!r} declared artifact "
-                            f"{artifact!r} but did not set it")
+                # the span covers the pass's own bookkeeping too (stats
+                # snapshot/delta, artifact checks): pass spans should
+                # tile the flow span, leaving only loop overhead in the
+                # gaps between them.
+                with ctx.tracer.span(p.name, category="pass",
+                                     flow=ctx.flow) as span:
+                    before = ctx.snapshot_stats()
+                    diagnostics = p.run(ctx) or {}
+                    for artifact in p.provides:
+                        if not ctx.has(artifact):
+                            raise FlowError(
+                                f"pass {p.name!r} declared artifact "
+                                f"{artifact!r} but did not set it")
+                    delta = ctx.stats_delta(before)
+                if delta:
+                    span.attributes["stats_delta"] = dict(delta)
                 records.append(PassRecord(
-                    name=p.name, elapsed_s=elapsed,
-                    stats_delta=ctx.stats_delta(before),
+                    name=p.name, elapsed_s=span.duration_s,
+                    stats_delta=delta,
                     diagnostics=diagnostics))
             completed.append(p.name)
             if checkpoint is not None:

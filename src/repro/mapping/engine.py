@@ -200,7 +200,8 @@ class MappingResult:
         """Deprecated alias for ``stats.tuples_created``."""
         deprecated(
             "MappingResult.tuples_created is deprecated; read "
-            "result.stats.tuples_created instead", stacklevel=2)
+            "result.stats.tuples_created instead", remove_in="0.5",
+            stacklevel=2)
         return self.stats.tuples_created
 
 
@@ -217,11 +218,23 @@ class MappingEngine:
         Optional :class:`~repro.pipeline.MappingStats` to accumulate into
         (a fresh one is created otherwise); also exposed on the returned
         :attr:`MappingResult.stats`.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  Nodes whose DP took at
+        least ``tracer.node_span_threshold_s`` are recorded as ``node``
+        spans (retroactively — the hot path only pays one comparison
+        per node; the timing itself already exists for the stats).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  Every
+        ``tracer.sample_every``-th node (default every 8th; 1 when no
+        tracer is attached alongside) observes the tuples-per-node and
+        combine-call-latency histograms, keeping the observation cost
+        off the kernel's critical path.
     """
 
     def __init__(self, network: LogicNetwork, cost_model: CostModel,
                  config: Optional[MapperConfig] = None, *,
-                 cache=None, stats: Optional[MappingStats] = None):
+                 cache=None, stats: Optional[MappingStats] = None,
+                 tracer=None, metrics=None):
         if not network.is_mappable():
             raise MappingError(
                 f"network {network.name!r} is not mappable: run decompose() "
@@ -231,6 +244,29 @@ class MappingEngine:
         self.config = config or MapperConfig()
         self.cache = cache
         self.stats = stats if stats is not None else MappingStats()
+        self.tracer = tracer
+        self.metrics = metrics
+        # obs bindings are resolved once so the per-node path is a None
+        # check plus (rarely) a histogram observe — never a dict lookup.
+        self._node_span_floor = (tracer.node_span_threshold_s
+                                 if tracer is not None else None)
+        self._hist_sample_every = (tracer.sample_every
+                                   if tracer is not None else 1)
+        if metrics is not None:
+            from ..obs import (NODE_SECONDS_BUCKETS,
+                               TUPLES_PER_NODE_BUCKETS)
+
+            self._h_tuples = metrics.histogram(
+                "repro_mapping_tuples_per_node",
+                buckets=TUPLES_PER_NODE_BUCKETS,
+                help="DP tuples created per node (sampled)")
+            self._h_combine = metrics.histogram(
+                "repro_mapping_combine_seconds",
+                buckets=NODE_SECONDS_BUCKETS,
+                help="combine-call latency per node (sampled)")
+        else:
+            self._h_tuples = None
+            self._h_combine = None
         self._tables: Dict[int, TupleTable] = {}
         self._gates: Dict[int, GateRecord] = {}
         self._forced: Dict[int, bool] = {}
@@ -623,8 +659,21 @@ class MappingEngine:
             views = [self._fanin_view(f) for f in node.fanins]
             view_a, view_b = views
             stats.combine_calls += len(view_a) * len(view_b)
+            # Histogram observation is sampled (every Nth node) so the
+            # extra perf_counter pair stays off the kernel's hot path.
+            sampled = (self._h_combine is not None
+                       and stats.nodes_processed
+                       % self._hist_sample_every == 0)
+            if sampled:
+                created_before = stats.tuples_created
+                combine_started = time.perf_counter()
             self._combine_into(table, node.type is NodeType.OR,
                                view_a, view_b)
+            if sampled:
+                self._h_combine.observe(
+                    time.perf_counter() - combine_started)
+                self._h_tuples.observe(
+                    stats.tuples_created - created_before)
             if not len(table):
                 raise MappingError(
                     f"no feasible {{W,H}} tuple for node {node.label}: "
@@ -637,6 +686,15 @@ class MappingEngine:
         stats.nodes_processed += 1
         stats.node_time_s += elapsed
         stats.max_node_time_s = max(stats.max_node_time_s, elapsed)
+        # Per-node spans are thresholded: slow nodes (the ones worth
+        # seeing in a trace) are recorded retroactively from timing the
+        # stats needed anyway; fast nodes pay one comparison.
+        floor = self._node_span_floor
+        if floor is not None and elapsed >= floor:
+            self.tracer.record_abs(
+                f"node:{node.label}", started, started + elapsed,
+                category="node",
+                attributes={"uid": uid, "type": node.type.value})
 
     # ------------------------------------------------------------------
     # tree-cache hooks

@@ -94,6 +94,12 @@ class FlowResult:
     elapsed_s: float = 0.0
     #: per-pass observability records, in execution order
     passes: List = field(default_factory=list)
+    #: root :class:`~repro.obs.Span` of the run (pass spans nested
+    #: inside, thresholded node spans under ``dp-map``)
+    trace: Optional[object] = None
+    #: the run's :class:`~repro.obs.MetricsRegistry`; ``stats`` is
+    #: re-derivable from it (``metrics.mapping_stats()``)
+    metrics: Optional[object] = None
 
     @property
     def circuit(self):
@@ -117,25 +123,17 @@ class FlowResult:
         return {r.name: r.elapsed_s for r in self.passes if r.ran}
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-ready rendering (``soidomino map --json``)."""
-        from dataclasses import asdict
+        """JSON-ready rendering: the unified report schema.
 
-        data: Dict[str, object] = {
-            "circuit": self.circuit.name,
-            "flow": self.flow,
-            "elapsed_s": self.elapsed_s,
-            "config": asdict(self.config),
-            "cost": self.cost.as_dict(),
-            "stats": self.stats.as_dict(),
-            "passes": [r.as_dict() for r in self.passes],
-        }
-        if self.unate_report is not None:
-            report = asdict(self.unate_report)
-            report["duplication_ratio"] = self.unate_report.duplication_ratio
-            data["unate_report"] = report
-        else:
-            data["unate_report"] = None
-        return data
+        Delegates to :func:`repro.obs.report.flow_report`, so
+        ``soidomino map --json``, ``batch --json`` and the bench
+        payload all share top-level keys (``schema_version``,
+        ``circuit``, ``flow``, ``stats``, ``timings``); the pre-obs
+        keys survive as aliases.
+        """
+        from ..obs import flow_report
+
+        return flow_report(self)
 
 
 def prepare_network(network: LogicNetwork):
@@ -199,7 +197,9 @@ def map_network(network: LogicNetwork,
                 cache=None,
                 stats: Optional[MappingStats] = None,
                 passes: Optional[Sequence[str]] = None,
-                checkpoint_dir: Optional[str] = None) -> FlowResult:
+                checkpoint_dir: Optional[str] = None,
+                tracer=None,
+                metrics=None) -> FlowResult:
     """Map ``network`` end-to-end: the unified entry point.
 
     Parameters
@@ -225,30 +225,52 @@ def map_network(network: LogicNetwork,
         Optional directory for checkpoint/resume: artifacts are
         serialized after every pass, and a rerun pointing at the same
         directory resumes after the last completed pass.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` to record into (the CLI
+        passes one covering the whole invocation); a private tracer is
+        created otherwise.  The run's root span — one ``flow`` span
+        with nested pass and node spans — lands on
+        :attr:`FlowResult.trace` either way.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` to publish into; a
+        private registry is created otherwise and exposed on
+        :attr:`FlowResult.metrics`.  The run's
+        :class:`~repro.pipeline.MappingStats` counters are published
+        into it, so summaries can be re-derived from the registry.
     """
     if isinstance(flow, CostModel):  # pre-1.1 map_network(net, cost_model)
         deprecated(
             "map_network(network, cost_model) is deprecated; pass "
             "cost_model=... by keyword (the second positional argument "
-            "is now the flow name)")
+            "is now the flow name)", remove_in="0.5")
         cost_model, flow = flow, None
     from ..flow import FlowCheckpoint, FlowContext
+    from ..obs import MetricsRegistry, Tracer
 
     started = time.perf_counter()
     effective = flow_config(flow, config, w_max=w_max, h_max=h_max)
     model = cost_model if cost_model is not None else CostModel()
     pipeline = build_flow_pipeline(flow, passes)
+    tracer = tracer if tracer is not None else Tracer()
+    metrics = metrics if metrics is not None else MetricsRegistry()
     ctx = FlowContext.for_network(network, effective, model,
                                   flow=flow or "custom", cache=cache,
-                                  stats=stats)
+                                  stats=stats, tracer=tracer,
+                                  metrics=metrics)
     checkpoint = (FlowCheckpoint(checkpoint_dir)
                   if checkpoint_dir is not None else None)
-    records = pipeline.run(ctx, checkpoint=checkpoint)
+    with tracer.span(f"flow:{network.name}", category="flow",
+                     circuit=network.name,
+                     flow=flow or "custom") as flow_span:
+        records = pipeline.run(ctx, checkpoint=checkpoint)
+    metrics.record_mapping_stats(ctx.stats)
     return FlowResult(mapping=ctx.get("mapping"),
                       unate_report=ctx.artifacts.get("unate_report"),
                       flow=flow or "custom",
                       elapsed_s=time.perf_counter() - started,
-                      passes=records)
+                      passes=records,
+                      trace=flow_span,
+                      metrics=metrics)
 
 
 def domino_map(network: LogicNetwork,
@@ -315,7 +337,8 @@ def soi_domino_map(network: LogicNetwork,
     if legacy:
         deprecated(
             f"soi_domino_map({', '.join(sorted(legacy))}=...) is "
-            "deprecated; pass config=MapperConfig(...) instead")
+            "deprecated; pass config=MapperConfig(...) instead",
+            remove_in="0.5")
         config = flow_config(None, config, w_max=w_max, h_max=h_max)
         config = replace(config, **legacy)
     return map_network(network, flow="soi", cost_model=cost_model,

@@ -1,0 +1,215 @@
+"""Exporters: JSONL spans, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three stable on-disk renderings of the obs data model:
+
+* **JSONL** (``*.jsonl``) — one flat JSON object per span with ``id`` /
+  ``parent`` links, machine-friendly and streamable; round-trips back
+  into :class:`~repro.obs.Span` trees via :func:`read_jsonl`.
+* **Chrome trace** (``*.json``) — the ``trace_event`` "complete event"
+  (``ph: "X"``) format, loadable in Perfetto or ``chrome://tracing``;
+  span attributes surface as event ``args``.  Spans carrying ``pid`` /
+  ``tid`` attributes (batch worker roots) keep their lanes; others
+  inherit from their nearest ancestor.
+* **Prometheus text** (``*.prom`` / ``*.txt``) — plain text exposition
+  of a :class:`~repro.obs.MetricsRegistry` (counters, gauges, and
+  cumulative histogram buckets).
+
+:func:`write_trace` picks the span format from the file extension — the
+contract behind ``soidomino map|batch|bench --trace FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Sequence
+
+from ..errors import ObsError
+from .metrics import MetricsRegistry
+from .trace import Span
+
+#: Trace-file extensions and the format each selects.
+TRACE_FORMATS = {".jsonl": "jsonl", ".json": "chrome", ".trace": "chrome"}
+
+#: Stable field names of one JSONL span row (tests pin these).
+JSONL_FIELDS = ("id", "parent", "name", "cat", "start_s", "end_s", "attrs")
+
+
+def infer_trace_format(path: str) -> str:
+    """``"jsonl"`` or ``"chrome"`` from the file extension."""
+    lowered = str(path).lower()
+    for extension, fmt in TRACE_FORMATS.items():
+        if lowered.endswith(extension):
+            return fmt
+    raise ObsError(
+        f"cannot infer trace format from {path!r}; use one of "
+        f"{', '.join(sorted(TRACE_FORMATS))}")
+
+
+# ---------------------------------------------------------------------------
+# JSONL spans
+# ---------------------------------------------------------------------------
+def span_rows(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """Flatten span trees into JSONL rows with ``id``/``parent`` links.
+
+    Ids are depth-first visit order, so the flattening is deterministic
+    and a parent always precedes its children (streaming consumers can
+    build the tree in one pass).
+    """
+    rows: List[Dict[str, object]] = []
+
+    def visit(span: Span, parent: int) -> None:
+        row_id = len(rows)
+        rows.append({
+            "id": row_id,
+            "parent": parent,
+            "name": span.name,
+            "cat": span.category,
+            "start_s": span.start_s,
+            "end_s": span.end_s,
+            "attrs": dict(span.attributes),
+        })
+        for child in span.children:
+            visit(child, row_id)
+
+    for root in spans:
+        visit(root, -1)
+    return rows
+
+
+def rows_to_spans(rows: Sequence[Dict[str, object]]) -> List[Span]:
+    """Rebuild span trees from JSONL rows (inverse of :func:`span_rows`)."""
+    spans: Dict[int, Span] = {}
+    roots: List[Span] = []
+    for row in rows:
+        span = Span(name=row["name"], category=row.get("cat", "flow"),
+                    start_s=float(row.get("start_s", 0.0)),
+                    end_s=float(row.get("end_s", 0.0)),
+                    attributes=dict(row.get("attrs") or {}))
+        spans[int(row["id"])] = span
+        parent = int(row.get("parent", -1))
+        if parent < 0:
+            roots.append(span)
+        else:
+            try:
+                spans[parent].children.append(span)
+            except KeyError:
+                raise ObsError(
+                    f"span row {row['id']} references unknown parent "
+                    f"{parent}") from None
+    return roots
+
+
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    return "".join(json.dumps(row, sort_keys=False) + "\n"
+                   for row in span_rows(spans))
+
+
+def write_jsonl(spans: Sequence[Span], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_to_jsonl(spans))
+
+
+def read_jsonl(path: str) -> List[Span]:
+    with open(path, "r", encoding="utf-8") as handle:
+        rows = [json.loads(line) for line in handle if line.strip()]
+    return rows_to_spans(rows)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+def spans_to_chrome(spans: Sequence[Span],
+                    process_name: str = "soidomino") -> Dict[str, object]:
+    """Span trees as a Chrome ``trace_event`` JSON object.
+
+    Every span becomes one complete event (``ph: "X"``) with
+    microsecond ``ts``/``dur``; attributes become ``args``.  ``pid`` /
+    ``tid`` attributes are honoured and inherited down the tree, so
+    batch worker subtrees stay on their own lanes.
+    """
+    events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+
+    def visit(span: Span, pid: int, tid: int) -> None:
+        pid = int(span.attributes.get("pid", pid))
+        tid = int(span.attributes.get("tid", tid))
+        args = {k: v for k, v in span.attributes.items()
+                if k not in ("pid", "tid")}
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for child in span.children:
+            visit(child, pid, tid)
+
+    for root in spans:
+        visit(root, 1, 1)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans: Sequence[Span], path: str,
+                 process_name: str = "soidomino") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(spans_to_chrome(spans, process_name=process_name),
+                  handle, indent=1)
+        handle.write("\n")
+
+
+def write_trace(spans: Sequence[Span], path: str) -> str:
+    """Write span trees to ``path``, format inferred from the extension.
+
+    Returns the format written (``"jsonl"`` or ``"chrome"``) — the
+    engine behind the CLI's ``--trace FILE`` flags.
+    """
+    fmt = infer_trace_format(path)
+    if fmt == "jsonl":
+        write_jsonl(spans, path)
+    else:
+        write_chrome(spans, path)
+    return fmt
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            for bound, cumulative in metric.cumulative():
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                lines.append(
+                    f'{metric.name}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+        else:
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))

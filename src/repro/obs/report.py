@@ -1,0 +1,173 @@
+"""The one JSON report schema behind ``map --json``, ``batch``, ``bench``.
+
+Before this module the three CLI surfaces emitted three divergent JSON
+shapes.  Every report now shares the same top-level keys:
+
+``schema_version``
+    :data:`REPORT_SCHEMA_VERSION` — bump on breaking changes.
+``kind``
+    ``"map"``, ``"batch"`` or ``"bench"``.
+``circuit`` / ``flow``
+    The mapped circuit and flow preset (a single name for ``map``,
+    the swept name lists for ``batch``/``bench``).
+``stats``
+    :class:`~repro.pipeline.MappingStats` counters.  Re-derived from
+    the run's :class:`~repro.obs.MetricsRegistry` whenever one is
+    attached, so the summary API and the metrics registry cannot
+    disagree.
+``timings``
+    ``elapsed_s`` / ``wall_s`` plus a ``passes`` name→seconds map.
+
+Pre-existing keys of each surface (``elapsed_s``, ``config``, ``cost``,
+``passes`` records, bench's ``aggregate``…) are kept as aliases for one
+release, so existing consumers keep parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+#: Unified report format identifier; bump on breaking schema changes.
+REPORT_SCHEMA_VERSION = "soidomino-report/2"
+
+#: Top-level keys every report kind shares (tests pin these).
+SHARED_REPORT_KEYS = ("schema_version", "kind", "circuit", "flow",
+                      "stats", "timings")
+
+
+def _stats_dict(stats, metrics: Optional[MetricsRegistry]) -> Optional[Dict]:
+    """The ``stats`` block: registry-derived whenever a registry exists.
+
+    The registry is authoritative — when a run carries one, its
+    published counters are what the report serializes, so the stable
+    :class:`MappingStats` summary and the metrics registry can never
+    disagree.  Runs without a registry fall back to the stats object.
+    """
+    if metrics is not None:
+        return metrics.mapping_stats().as_dict()
+    return stats.as_dict() if stats is not None else None
+
+
+def flow_report(result, *, cost_objective: Optional[str] = None,
+                input_stats: Optional[Dict] = None,
+                digest: Optional[str] = None) -> Dict[str, object]:
+    """Unified report of one :class:`~repro.mapping.FlowResult`.
+
+    Extends the pre-obs ``map --json`` payload (every old key survives
+    as an alias) with the shared header and ``timings`` block.
+    """
+    from dataclasses import asdict
+
+    pass_seconds = result.pass_times()
+    data: Dict[str, object] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": "map",
+        "circuit": result.circuit.name,
+        "flow": result.flow,
+        "stats": _stats_dict(result.stats, getattr(result, "metrics", None)),
+        "timings": {
+            "elapsed_s": result.elapsed_s,
+            "passes": pass_seconds,
+        },
+        # pre-schema_version aliases (kept for one release)
+        "elapsed_s": result.elapsed_s,
+        "config": asdict(result.config),
+        "cost": result.cost.as_dict(),
+        "passes": [r.as_dict() for r in result.passes],
+    }
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        data["trace_summary"] = {
+            "spans": trace.span_count(),
+            "duration_s": trace.duration_s,
+        }
+    if result.unate_report is not None:
+        report = asdict(result.unate_report)
+        report["duplication_ratio"] = result.unate_report.duplication_ratio
+        data["unate_report"] = report
+    else:
+        data["unate_report"] = None
+    if cost_objective is not None:
+        data["cost_objective"] = cost_objective
+    if input_stats is not None:
+        data["input"] = input_stats
+    if digest is not None:
+        data["digest"] = digest
+    return data
+
+
+def batch_report(report, *,
+                 cost_objective: Optional[str] = None) -> Dict[str, object]:
+    """Unified report of one :class:`~repro.pipeline.BatchReport`."""
+    circuits: List[str] = []
+    flows: List[str] = []
+    entries: List[Dict[str, object]] = []
+    for r in report.results:
+        if r.task.circuit not in circuits:
+            circuits.append(r.task.circuit)
+        if r.task.flow not in flows:
+            flows.append(r.task.flow)
+        entry: Dict[str, object] = {
+            "circuit": r.task.circuit,
+            "flow": r.task.flow,
+            "ok": r.ok,
+            "stats": _stats_dict(r.stats, getattr(r, "metrics", None)),
+            "timings": {
+                "elapsed_s": r.elapsed_s,
+                "passes": dict(r.pass_times or {}),
+            },
+            "cost": r.cost.as_dict() if r.cost is not None else None,
+            "digest": r.digest,
+            "mode": r.mode,
+            "attempts": r.attempts,
+        }
+        if r.error is not None:
+            entry["error"] = r.error
+        entries.append(entry)
+    pass_seconds: Dict[str, float] = {}
+    for r in report.results:
+        for name, seconds in (r.pass_times or {}).items():
+            pass_seconds[name] = pass_seconds.get(name, 0.0) + seconds
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": "batch",
+        "circuit": circuits,
+        "flow": flows,
+        "stats": _stats_dict(report.total_stats(),
+                             report.total_metrics() or None),
+        "timings": {
+            "wall_s": report.wall_s,
+            "task_time_s": report.task_time_s,
+            "passes": pass_seconds,
+        },
+        "mode": report.mode,
+        "ok": report.ok,
+        "cost_objective": cost_objective,
+        "results": entries,
+    }
+
+
+def extend_bench_payload(payload: Dict, *,
+                         metrics: Optional[MetricsRegistry] = None) -> Dict:
+    """Graft the shared report header onto a bench payload, in place.
+
+    The bench payload keeps its committed ``soidomino-bench/1`` schema
+    (CI validates it; ``--baseline`` compares it) and additionally
+    carries the unified header so all three CLI surfaces parse alike.
+    """
+    aggregate = payload.get("aggregate", {})
+    sweep = payload.get("sweep", {})
+    payload["schema_version"] = REPORT_SCHEMA_VERSION
+    payload["kind"] = "bench"
+    payload["circuit"] = list(sweep.get("circuits", []))
+    payload["flow"] = list(sweep.get("flows", []))
+    payload["stats"] = (metrics.mapping_stats().as_dict()
+                        if metrics is not None else None)
+    payload["timings"] = {
+        "wall_s": payload.get("wall_s"),
+        "task_time_s": aggregate.get("task_time_s"),
+        "passes": dict(aggregate.get("pass_time_s", {})),
+    }
+    return payload

@@ -163,12 +163,17 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
               modes: Sequence[str] = DEFAULT_MODES,
               jobs: int = 1,
               use_cache: bool = False,
-              repeat: int = 1) -> Dict:
+              repeat: int = 1,
+              tracer=None) -> Dict:
     """Run the sweep and return the bench payload (not yet written).
 
     ``repeat > 1`` re-runs the whole sweep and keeps each task's minimum
     wall time (counters and digests are checked to be identical across
     repeats — a mismatch marks the payload as non-deterministic).
+
+    ``tracer`` (a :class:`~repro.obs.Tracer`) collects the per-case span
+    trees: each repeat's stitched batch trace is attached under a
+    ``bench`` root span, which ``soidomino bench --trace FILE`` exports.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
@@ -194,6 +199,20 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
                for rep in reports[1:]):
             deterministic = False
         rows.append(_result_row(result, elapsed))
+
+    if tracer is not None:
+        from ..obs import stitch
+
+        repeat_trees = []
+        for number, report in enumerate(reports):
+            tree = report.build_trace()
+            tree.name = f"repeat:{number}"
+            tree.attributes["repeat"] = number
+            repeat_trees.append(tree)
+        tracer.attach(stitch("bench", repeat_trees, category="bench",
+                             attributes={"tasks": len(tasks),
+                                         "repeat": repeat}))
+    total_metrics = first.total_metrics()
 
     flow_list = list(dict.fromkeys(flows))
     payload = {
@@ -227,7 +246,9 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
         "results": rows,
         "aggregate": _aggregate(rows),
     }
-    return payload
+    from ..obs import extend_bench_payload
+
+    return extend_bench_payload(payload, metrics=total_metrics)
 
 
 def attach_baseline(payload: Dict, baseline: Dict) -> Dict:

@@ -85,8 +85,15 @@ class MappingStats:
         return self
 
     def as_dict(self) -> Dict[str, float]:
+        """All counters plus every derived property.
+
+        ``tuples_kept`` and ``cache_requests`` are included so JSON
+        consumers (batch/bench payloads) never have to recompute them.
+        """
         data: Dict[str, float] = {f.name: getattr(self, f.name)
                                   for f in fields(self)}
+        data["tuples_kept"] = self.tuples_kept
+        data["cache_requests"] = self.cache_requests
         data["cache_hit_rate"] = self.cache_hit_rate
         return data
 

@@ -17,7 +17,10 @@ pickle across a :class:`concurrent.futures.ProcessPoolExecutor`.
 Workers return :class:`BatchResult` values: the circuit *cost* and a
 netlist digest (not the circuit object — a mapped c7552 is megabytes),
 the run's :class:`~repro.pipeline.MappingStats`, per-flow-pass wall
-times, total wall time, and the error string for failed tasks.  Results come back in task order and are
+times, the worker's span tree and metrics registry (stitched by
+:meth:`BatchReport.build_trace` / merged by
+:meth:`BatchReport.total_metrics` in the parent), total wall time, and
+the error string for failed tasks.  Results come back in task order and are
 bit-identical between pool and serial execution: each task is a
 deterministic function of its fields, and cache reuse reconstructs DP
 tables exactly (see ``pipeline/cache.py``).
@@ -36,6 +39,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..domino.circuit import CircuitCost
 from ..mapping import CostModel, MapperConfig, map_network
 from ..mapping.flows import FLOW_PRESETS
+from ..obs import MetricsRegistry, Span, Tracer, stitch
 from .cache import TreeCache
 from .metrics import MappingStats
 
@@ -71,6 +75,11 @@ class BatchResult:
     digest: Optional[str] = None
     #: pass name -> wall-clock seconds for the flow passes that ran
     pass_times: Optional[Dict[str, float]] = None
+    #: the task's span tree (root ``task`` span, pass/node spans nested
+    #: inside); recorded in the executing process and pickled back
+    trace: Optional[Span] = None
+    #: the task's metrics registry (merged into the report's aggregate)
+    metrics: Optional[MetricsRegistry] = None
     elapsed_s: float = 0.0
     error: Optional[str] = None
     #: "pool", "serial", or "serial-fallback" (pool gave up on this task)
@@ -105,6 +114,35 @@ class BatchReport:
                 total.merge(r.stats)
         return total
 
+    def total_metrics(self) -> MetricsRegistry:
+        """All task registries merged (deterministic: fixed buckets)."""
+        total = MetricsRegistry()
+        for r in self.results:
+            if r.metrics is not None:
+                total.merge(r.metrics)
+        return total
+
+    def build_trace(self) -> Span:
+        """Stitch the workers' span trees under per-circuit root spans.
+
+        Worker clocks are private to their processes, so the stitched
+        timeline is schematic — circuits (and tasks within a circuit)
+        are laid end-to-end in task order — but every task subtree's
+        internal nesting and durations are real.  The returned root is
+        what ``soidomino batch --trace FILE`` exports.
+        """
+        by_circuit: Dict[str, List[Span]] = {}
+        for r in self.results:
+            if r.trace is not None:
+                by_circuit.setdefault(r.task.circuit, []).append(r.trace)
+        circuit_spans = [
+            stitch(f"circuit:{name}", trees, category="circuit",
+                   attributes={"tasks": len(trees)})
+            for name, trees in by_circuit.items()]
+        return stitch("batch", circuit_spans, category="batch",
+                      attributes={"mode": self.mode,
+                                  "results": len(self.results)})
+
     @property
     def task_time_s(self) -> float:
         """Summed per-task wall time (serial-equivalent work)."""
@@ -134,20 +172,35 @@ def _load_network(source: str):
 
 def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
                  mode: str = "serial") -> BatchResult:
-    """Run one task to completion; failures become error results."""
+    """Run one task to completion; failures become error results.
+
+    Each task records into a private tracer/registry: the root ``task``
+    span (tagged with the worker pid so Chrome-trace lanes separate)
+    and the registry ride the picklable :class:`BatchResult` back to
+    the parent, which stitches and merges them.
+    """
     started = time.perf_counter()
+    tracer = Tracer(name=f"task:{task.label}")
+    metrics = MetricsRegistry()
     try:
-        network = _load_network(task.circuit)
-        result = map_network(network, flow=task.flow,
-                             cost_model=task.cost_model,
-                             config=task.config, cache=cache)
+        with tracer.span(f"task:{task.label}", category="task",
+                         circuit=task.circuit, flow=task.flow,
+                         pid=os.getpid(), mode=mode) as root:
+            network = _load_network(task.circuit)
+            result = map_network(network, flow=task.flow,
+                                 cost_model=task.cost_model,
+                                 config=task.config, cache=cache,
+                                 tracer=tracer, metrics=metrics)
         return BatchResult(task=task, cost=result.cost, stats=result.stats,
                            digest=result.circuit.digest(),
                            pass_times=result.pass_times(),
+                           trace=root, metrics=metrics,
                            elapsed_s=time.perf_counter() - started,
                            mode=mode)
     except Exception as exc:  # noqa: BLE001 - one bad task must not kill a sweep
         return BatchResult(task=task, error=f"{type(exc).__name__}: {exc}",
+                           trace=tracer.roots[0] if tracer.roots else None,
+                           metrics=metrics,
                            elapsed_s=time.perf_counter() - started,
                            mode=mode)
 

@@ -1,0 +1,146 @@
+"""Exporters: JSONL round-trip, Chrome trace_event, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    JSONL_FIELDS,
+    TRACE_FORMATS,
+    MetricsRegistry,
+    Span,
+    infer_trace_format,
+    prometheus_text,
+    read_jsonl,
+    rows_to_spans,
+    span_rows,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_trace,
+)
+
+
+def _tree():
+    return Span("flow:z4ml", category="flow", start_s=0.0, end_s=3.0,
+                attributes={"circuit": "z4ml"},
+                children=[
+                    Span("dp-map", category="pass", start_s=0.5, end_s=2.5,
+                         children=[Span("node:n1", category="node",
+                                        start_s=1.0, end_s=1.2,
+                                        attributes={"uid": 4})]),
+                    Span("analyze", category="pass", start_s=2.5, end_s=2.9),
+                ])
+
+
+def test_infer_trace_format_from_extension():
+    assert infer_trace_format("out.jsonl") == "jsonl"
+    assert infer_trace_format("out.json") == "chrome"
+    assert infer_trace_format("OUT.TRACE") == "chrome"
+    with pytest.raises(ObsError, match="cannot infer"):
+        infer_trace_format("out.txt")
+    # the table the CLI help documents
+    assert TRACE_FORMATS == {".jsonl": "jsonl", ".json": "chrome",
+                             ".trace": "chrome"}
+
+
+def test_span_rows_have_stable_fields_and_parent_precedes_children():
+    rows = span_rows([_tree()])
+    assert [tuple(r.keys()) for r in rows] == [JSONL_FIELDS] * len(rows)
+    for row in rows:
+        assert row["parent"] < row["id"]
+    assert rows[0]["parent"] == -1
+    assert [r["name"] for r in rows] == [
+        "flow:z4ml", "dp-map", "node:n1", "analyze"]
+
+
+def test_jsonl_round_trip_preserves_the_tree(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    fmt = write_trace([_tree()], str(path))
+    assert fmt == "jsonl"
+    roots = read_jsonl(str(path))
+    assert roots == [_tree()]
+
+
+def test_rows_to_spans_rejects_dangling_parent():
+    with pytest.raises(ObsError, match="unknown parent"):
+        rows_to_spans([{"id": 0, "parent": 5, "name": "orphan",
+                        "cat": "flow", "start_s": 0, "end_s": 1,
+                        "attrs": {}}])
+
+
+def test_chrome_events_microseconds_and_metadata():
+    doc = spans_to_chrome([_tree()], process_name="testproc")
+    events = doc["traceEvents"]
+    meta, rest = events[0], events[1:]
+    assert meta["ph"] == "M"
+    assert meta["args"] == {"name": "testproc"}
+    assert [e["ph"] for e in rest] == ["X"] * 4
+    flow = rest[0]
+    assert flow["ts"] == pytest.approx(0.0)
+    assert flow["dur"] == pytest.approx(3.0e6)
+    node = [e for e in rest if e["name"] == "node:n1"][0]
+    assert node["ts"] == pytest.approx(1.0e6)
+    assert node["dur"] == pytest.approx(0.2e6)
+    assert node["args"] == {"uid": 4}
+
+
+def test_chrome_pid_tid_inherit_down_the_tree():
+    tree = Span("batch", children=[
+        Span("task:a", attributes={"pid": 7},
+             children=[Span("pass")]),
+        Span("task:b", attributes={"pid": 9, "tid": 2},
+             children=[Span("pass")]),
+    ])
+    events = spans_to_chrome([tree])["traceEvents"][1:]
+    by_name = {}
+    for e in events:
+        by_name.setdefault(e["name"], []).append(e)
+    assert by_name["batch"][0]["pid"] == 1
+    assert [e["pid"] for e in by_name["pass"]] == [7, 9]
+    assert by_name["task:b"][0]["tid"] == 2
+    # pid/tid are lane routing, not payload
+    assert "pid" not in by_name["task:a"][0]["args"]
+
+
+def test_jsonl_to_chrome_round_trip(tmp_path):
+    """The two span formats agree: JSONL in, Chrome out, same intervals."""
+    jsonl_path = tmp_path / "t.jsonl"
+    chrome_path = tmp_path / "t.json"
+    write_trace([_tree()], str(jsonl_path))
+    roots = read_jsonl(str(jsonl_path))
+    assert write_trace(roots, str(chrome_path)) == "chrome"
+    doc = json.loads(chrome_path.read_text())
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    expected = [(s.name, s.category,
+                 pytest.approx(s.start_s * 1e6),
+                 pytest.approx(s.duration_s * 1e6))
+                for s in _tree().walk()]
+    got = [(e["name"], e["cat"], e["ts"], e["dur"]) for e in spans]
+    assert got == expected
+
+
+def test_prometheus_text_exposition():
+    reg = MetricsRegistry()
+    reg.counter("repro_tuples_total", help="tuples").inc(42)
+    reg.gauge("repro_peak_s", mode="max").set(0.5)
+    h = reg.histogram("repro_sizes", buckets=(1, 10))
+    h.observe(0.5)
+    h.observe(200)
+    text = prometheus_text(reg)
+    lines = text.splitlines()
+    assert "# HELP repro_tuples_total tuples" in lines
+    assert "# TYPE repro_tuples_total counter" in lines
+    assert "repro_tuples_total 42" in lines
+    assert "# TYPE repro_peak_s gauge" in lines
+    assert "repro_peak_s 0.5" in lines
+    assert 'repro_sizes_bucket{le="1"} 1' in lines
+    assert 'repro_sizes_bucket{le="10"} 1' in lines
+    assert 'repro_sizes_bucket{le="+Inf"} 2' in lines
+    assert "repro_sizes_sum 200.5" in lines
+    assert "repro_sizes_count 2" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_empty_registry_is_empty():
+    assert prometheus_text(MetricsRegistry()) == ""

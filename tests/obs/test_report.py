@@ -1,0 +1,121 @@
+"""The unified soidomino-report/2 schema behind map/batch/bench JSON."""
+
+import pytest
+
+from repro.mapping import map_network
+from repro.network import network_from_expression
+from repro.obs import (
+    REPORT_SCHEMA_VERSION,
+    SHARED_REPORT_KEYS,
+    batch_report,
+    extend_bench_payload,
+    flow_report,
+)
+from repro.pipeline import BatchRunner
+
+
+def _net():
+    return network_from_expression("(a + b) * (c + d) * e")
+
+
+def _flow_result():
+    return map_network(_net(), flow="soi")
+
+
+def test_flow_report_shared_header_and_aliases():
+    result = _flow_result()
+    data = flow_report(result, cost_objective="area", digest="abc123")
+    for key in SHARED_REPORT_KEYS:
+        assert key in data, f"missing shared key {key!r}"
+    assert data["schema_version"] == REPORT_SCHEMA_VERSION
+    assert data["kind"] == "map"
+    assert data["flow"] == "soi"
+    # pre-schema aliases survive for one release
+    assert data["elapsed_s"] == result.elapsed_s
+    assert data["cost"] == result.cost.as_dict()
+    assert data["config"]["w_max"] == result.config.w_max
+    assert [p["name"] for p in data["passes"]] == [
+        r.name for r in result.passes]
+    assert data["digest"] == "abc123"
+    assert data["cost_objective"] == "area"
+    assert data["timings"]["elapsed_s"] == result.elapsed_s
+    assert data["trace_summary"]["spans"] == result.trace.span_count()
+
+
+def test_flow_report_stats_re_derived_from_registry():
+    result = _flow_result()
+    data = flow_report(result)
+    # the registry is authoritative; it must agree with the stats object
+    assert data["stats"] == result.stats.as_dict()
+    assert data["stats"]["tuples_kept"] == result.stats.tuples_kept
+    assert result.metrics.mapping_stats() == result.stats
+
+
+def test_flow_result_as_dict_is_the_unified_report():
+    result = _flow_result()
+    assert result.as_dict()["schema_version"] == REPORT_SCHEMA_VERSION
+
+
+def test_batch_report_shared_header_and_entries():
+    runner = BatchRunner(max_workers=1)
+    tasks = BatchRunner.sweep_tasks(["z4ml"], flows=["soi", "domino"])
+    report = runner.run_serial(tasks)
+    data = batch_report(report, cost_objective="area")
+    for key in SHARED_REPORT_KEYS:
+        assert key in data
+    assert data["kind"] == "batch"
+    assert data["circuit"] == ["z4ml"]
+    assert data["flow"] == ["soi", "domino"]
+    assert data["ok"] is True
+    assert len(data["results"]) == 2
+    entry = data["results"][0]
+    assert entry["circuit"] == "z4ml"
+    assert entry["stats"]["tuples_created"] > 0
+    assert entry["timings"]["elapsed_s"] > 0
+    # aggregate stats equal the sum of the per-task registries
+    total = report.total_metrics().mapping_stats()
+    assert data["stats"] == total.as_dict()
+
+
+def test_extend_bench_payload_grafts_header_in_place():
+    payload = {
+        "schema": "soidomino-bench/1",
+        "wall_s": 1.25,
+        "sweep": {"circuits": ["z4ml"], "flows": ["soi"]},
+        "aggregate": {"tasks": 2, "task_time_s": 1.0,
+                      "pass_time_s": {"dp-map": 0.8}},
+    }
+    out = extend_bench_payload(payload)
+    assert out is payload
+    assert payload["schema"] == "soidomino-bench/1"  # committed key kept
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+    assert payload["kind"] == "bench"
+    assert payload["circuit"] == ["z4ml"]
+    assert payload["flow"] == ["soi"]
+    assert payload["stats"] is None
+    assert payload["timings"] == {"wall_s": 1.25, "task_time_s": 1.0,
+                                  "passes": {"dp-map": 0.8}}
+
+
+def test_all_three_kinds_share_the_header_keys():
+    flow_keys = set(flow_report(_flow_result()))
+    runner = BatchRunner(max_workers=1)
+    report = runner.run_serial(
+        BatchRunner.sweep_tasks(["z4ml"], flows=["soi"]))
+    batch_keys = set(batch_report(report))
+    bench_keys = set(extend_bench_payload({
+        "wall_s": 0.0, "sweep": {}, "aggregate": {}}))
+    shared = set(SHARED_REPORT_KEYS)
+    assert shared <= flow_keys
+    assert shared <= batch_keys
+    assert shared <= bench_keys
+
+
+def test_stats_cannot_disagree_with_registry():
+    result = _flow_result()
+    # corrupt the stats object; the registry keeps the truth
+    result.mapping.stats.tuples_created += 999
+    data = flow_report(result)
+    assert data["stats"]["tuples_created"] == pytest.approx(
+        result.metrics.mapping_stats().tuples_created)
+    assert data["stats"]["tuples_created"] != result.stats.tuples_created

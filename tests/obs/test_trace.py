@@ -1,0 +1,132 @@
+"""Span / Tracer core semantics: nesting, clocks, adoption, stitching."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ObsError  # noqa: F401  (re-export sanity)
+from repro.obs import Span, Tracer, stitch
+
+
+def test_span_context_manager_nests_under_current():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner", category="pass", flow="soi") as inner:
+            pass
+    assert tracer.roots == [outer]
+    assert outer.children == [inner]
+    assert inner.category == "pass"
+    assert inner.attributes == {"flow": "soi"}
+    assert tracer.current is None
+
+
+def test_span_times_are_monotonic_and_relative_to_epoch():
+    tracer = Tracer()
+    with tracer.span("a") as a:
+        with tracer.span("b") as b:
+            pass
+    assert 0.0 <= a.start_s <= b.start_s
+    assert b.end_s <= a.end_s
+    assert a.duration_s >= b.duration_s
+
+
+def test_end_validates_nesting_order():
+    tracer = Tracer()
+    a = tracer.begin("a")
+    tracer.begin("b")
+    with pytest.raises(ValueError, match="nesting violated"):
+        tracer.end(a)
+
+
+def test_end_without_open_span_raises():
+    with pytest.raises(ValueError, match="no open span"):
+        Tracer().end()
+
+
+def test_exception_marks_span_and_still_closes_it():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed") as span:
+            raise RuntimeError("boom")
+    assert span.attributes["error"] == "RuntimeError"
+    assert tracer.current is None
+    assert span.end_s >= span.start_s
+
+
+def test_record_abs_rebases_onto_tracer_epoch():
+    tracer = Tracer()
+    start = tracer.epoch + 1.0
+    span = tracer.record_abs("node:x", start, start + 0.5,
+                             attributes={"uid": 7})
+    assert span.start_s == pytest.approx(1.0)
+    assert span.duration_s == pytest.approx(0.5)
+    assert span.category == "node"
+    assert tracer.roots == [span]
+
+
+def test_record_abs_nests_under_open_span():
+    tracer = Tracer()
+    with tracer.span("dp-map") as parent:
+        tracer.record_abs("node:y", tracer.epoch, tracer.epoch + 0.1)
+    assert [c.name for c in parent.children] == ["node:y"]
+
+
+def test_attach_rebases_foreign_tree_at_given_time():
+    tracer = Tracer()
+    foreign = Span("task", start_s=100.0, end_s=101.0,
+                   children=[Span("pass", start_s=100.2, end_s=100.8)])
+    tracer.attach(foreign, at_s=5.0)
+    assert foreign.start_s == pytest.approx(5.0)
+    assert foreign.end_s == pytest.approx(6.0)
+    # children shift with their parent
+    assert foreign.children[0].start_s == pytest.approx(5.2)
+    assert tracer.roots == [foreign]
+
+
+def test_stitch_lays_trees_end_to_end():
+    trees = [Span("a", start_s=10.0, end_s=11.0),
+             Span("b", start_s=50.0, end_s=50.5)]
+    root = stitch("batch", trees, category="batch",
+                  attributes={"mode": "pool"})
+    assert root.start_s == 0.0
+    assert root.children[0].start_s == pytest.approx(0.0)
+    assert root.children[0].end_s == pytest.approx(1.0)
+    assert root.children[1].start_s == pytest.approx(1.0)
+    assert root.children[1].end_s == pytest.approx(1.5)
+    assert root.end_s == pytest.approx(1.5)
+    assert root.attributes == {"mode": "pool"}
+
+
+def test_walk_find_and_span_count():
+    tree = Span("root", children=[
+        Span("a", children=[Span("leaf")]),
+        Span("b"),
+    ])
+    assert [s.name for s in tree.walk()] == ["root", "a", "leaf", "b"]
+    assert tree.find("leaf").name == "leaf"
+    assert tree.find("missing") is None
+    assert tree.span_count() == 4
+
+
+def test_as_dict_round_trip():
+    tree = Span("root", category="flow", start_s=0.0, end_s=2.0,
+                attributes={"circuit": "z4ml"},
+                children=[Span("child", category="pass",
+                               start_s=0.5, end_s=1.5)])
+    again = Span.from_dict(tree.as_dict())
+    assert again == tree
+
+
+def test_spans_pickle_whole_trees():
+    tree = Span("task", attributes={"pid": 42},
+                children=[Span("pass", children=[Span("node:x")])])
+    clone = pickle.loads(pickle.dumps(tree))
+    assert clone == tree
+    assert clone is not tree
+
+
+def test_tracer_validates_knobs():
+    with pytest.raises(ValueError):
+        Tracer(node_span_threshold_s=-1.0)
+    with pytest.raises(ValueError):
+        Tracer(sample_every=0)

@@ -10,7 +10,7 @@ import warnings
 
 import pytest
 
-from repro._compat import deprecated
+from repro._compat import SHIMS, deprecated
 from repro.mapping import CostModel, map_network, soi_domino_map
 from repro.network import network_from_expression
 
@@ -58,3 +58,32 @@ def test_modern_spellings_stay_silent():
         warnings.simplefilter("error", DeprecationWarning)
         result = map_network(_net(), flow="soi", cost_model=CostModel())
         assert result.stats.tuples_created > 0
+
+
+def test_shim_table_names_replacement_and_removal_release():
+    # Every shim left in the package must tell users where to go and
+    # when it disappears — no open-ended deprecations.
+    assert SHIMS, "the shim table must enumerate the remaining shims"
+    for shim in SHIMS:
+        assert shim.name, "shim must name its legacy spelling"
+        assert shim.replacement, f"{shim.name} must name its replacement"
+        assert shim.replacement != shim.name
+        assert shim.remove_in == "0.5"
+
+
+def test_shim_table_covers_every_legacy_surface():
+    names = " ".join(shim.name for shim in SHIMS)
+    assert "map_network" in names
+    assert "soi_domino_map" in names
+    assert "MappingResult.tuples_created" in names
+
+
+def test_warnings_carry_the_scheduled_removal_release():
+    removal = r"scheduled for removal in 0\.5"
+    with pytest.warns(DeprecationWarning, match=removal):
+        map_network(_net(), CostModel())
+    with pytest.warns(DeprecationWarning, match=removal):
+        soi_domino_map(_net(), ordering="adverse")
+    result = map_network(_net(), flow="soi")
+    with pytest.warns(DeprecationWarning, match=removal):
+        result.mapping.tuples_created
