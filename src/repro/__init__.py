@@ -18,15 +18,21 @@ See README.md for the full tour and DESIGN.md for the system inventory.
 """
 
 from .errors import (
+    BatchDeadlineError,
     BenchmarkError,
+    CacheIntegrityError,
+    CheckpointCorruptError,
     FlowError,
     MappingError,
     NetworkError,
     ParseError,
     ReproError,
+    ResourceLimitError,
     SimulationError,
     StructureError,
     UnateConversionError,
+    WorkerCrashError,
+    is_retryable,
 )
 from .network import (
     LogicNetwork,
@@ -94,19 +100,32 @@ from .pipeline import (
     MappingStats,
     TreeCache,
 )
+from .resilience import (
+    FAULT_POINTS,
+    FaultPlan,
+    FaultPoint,
+    FaultRule,
+    plan_from_spec,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchDeadlineError",
     "BenchmarkError",
+    "CacheIntegrityError",
+    "CheckpointCorruptError",
     "FlowError",
     "MappingError",
     "NetworkError",
     "ParseError",
     "ReproError",
+    "ResourceLimitError",
     "SimulationError",
     "StructureError",
     "UnateConversionError",
+    "WorkerCrashError",
+    "is_retryable",
     "LogicNetwork",
     "LogicNode",
     "NodeType",
@@ -157,6 +176,11 @@ __all__ = [
     "BatchTask",
     "MappingStats",
     "TreeCache",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultRule",
+    "plan_from_spec",
     "MetricsRegistry",
     "Span",
     "Tracer",

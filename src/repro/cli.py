@@ -12,7 +12,15 @@ Subcommands
 ``passes``   list the flow-pass registry and the preset pass lists;
 ``metrics``  map a circuit and dump its metrics registry (Prometheus
              text exposition, or JSON with ``--json``);
-``pbe``      run the PBE stress simulator on a mapped circuit.
+``pbe``      run the PBE stress simulator on a mapped circuit;
+``chaos``    run the resilience fault-matrix drill: one scenario per
+             registered fault point, each asserting its documented
+             recovery and bit-identical digests for non-faulted work.
+
+Every subcommand honours the ``REPRO_FAULTS`` environment variable
+(a :func:`repro.resilience.plan_from_spec` spec string), which installs
+a deterministic fault plan for the process — the hook chaos tooling and
+operators use to rehearse failures against the real CLI surfaces.
 
 ``map``, ``batch`` and ``bench`` all speak the unified
 ``soidomino-report/2`` JSON schema (:mod:`repro.obs.report`) via
@@ -35,6 +43,7 @@ from .io import circuit_netlist, circuit_to_dot, load_bench, load_blif, load_pla
 from .mapping import FLOW_PRESETS, ClockWeightedCost, DepthCost, map_network
 from .network import LogicNetwork, network_stats
 from .pbe import random_stress
+from .resilience import FAULT_POINTS, install_from_env
 
 _FLOW_CHOICES = sorted(FLOW_PRESETS)
 
@@ -325,6 +334,34 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .evaluation.formats import render_table
+    from .resilience import run_chaos
+
+    report = run_chaos(circuits=args.circuits or None, seed=args.seed,
+                       jobs=args.jobs, sites=args.site or None)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=1))
+        return 0 if report.ok else 1
+    headers = ["site", "verdict", "digests", "detail"]
+    rows = [[o.site, "PASS" if o.ok else "FAIL",
+             {True: "match", False: "DIVERGED", None: "-"}[o.digests_ok],
+             o.detail]
+            for o in report.outcomes]
+    good = sum(1 for o in report.outcomes if o.ok)
+    print(render_table(headers, rows,
+                       title=f"chaos: {good}/{len(report.outcomes)} "
+                             f"scenarios recovered, seed={report.seed}, "
+                             f"circuits={','.join(report.circuits)}"))
+    for o in report.outcomes:
+        if not o.ok:
+            print(f"FAILED:    {o.site}: {o.detail} (spec {o.spec!r})",
+                  file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_pbe(args) -> int:
     network = _load_network(args.circuit)
     result = map_network(network, flow=args.algorithm)
@@ -478,12 +515,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_pbe.add_argument("--cycles", type=int, default=300)
     p_pbe.add_argument("--seed", type=int, default=0)
     p_pbe.set_defaults(func=_cmd_pbe)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run the resilience fault-matrix drill")
+    p_chaos.add_argument("circuits", nargs="*",
+                         help="workload circuits; the first is the fault "
+                              "target, the rest are the bit-identity "
+                              "control group (default: mux cm150 z4ml)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-plan seed (the whole drill is "
+                              "deterministic in it)")
+    p_chaos.add_argument("-j", "--jobs", type=int, default=2,
+                         help="pool width for the batch scenarios")
+    p_chaos.add_argument("--site", action="append",
+                         choices=list(FAULT_POINTS),
+                         help="restrict to these fault points "
+                              "(repeatable; default: all)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the chaos report as JSON")
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # honour REPRO_FAULTS for every subcommand (chaos rehearsal against
+    # the real CLI surfaces; no-op when unset)
+    install_from_env()
     try:
         return args.func(args)
     except ReproError as exc:

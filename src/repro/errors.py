@@ -2,13 +2,30 @@
 
 All errors raised by the library derive from :class:`ReproError`, so callers
 can catch a single base class at API boundaries.
+
+Every :class:`ReproError` subclass carries a class-level ``retryable``
+flag — the failure taxonomy the batch pipeline's retry policy is driven
+by.  *Retryable* errors are infrastructure failures (a crashed or hung
+worker) where resubmitting the identical task can plausibly succeed;
+everything else is a deterministic property of the task itself (a parse
+error, an infeasible mapping, a resource ceiling) and must fail fast —
+retrying would only burn the batch's deadline budget reproducing the
+same failure.  :func:`is_retryable` extends the classification to
+non-repro exceptions.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the repro library."""
+    """Base class for every error raised by the repro library.
+
+    ``retryable`` is the batch pipeline's failure classification: True
+    for infrastructure failures where an identical resubmission can
+    succeed, False (the default) for errors deterministic in the task.
+    """
+
+    retryable = False
 
 
 class NetworkError(ReproError):
@@ -41,8 +58,50 @@ class MappingError(ReproError):
     """Technology mapping failed (e.g. no feasible tuple for a node)."""
 
 
+class ResourceLimitError(MappingError):
+    """A mapping run exceeded a configured resource ceiling.
+
+    Raised by the engine when ``MapperConfig.max_nodes`` /
+    ``max_tuples`` is breached (or when the ``resource.exhaust`` fault
+    point fires), so pathological inputs degrade into a structured
+    error instead of unbounded memory growth.  Carries the partial
+    :class:`~repro.pipeline.MappingStats` accumulated up to the breach.
+    """
+
+    def __init__(self, message: str, *, stats=None, limit: str = ""):
+        super().__init__(message)
+        self.stats = stats
+        self.limit = limit
+
+
+class WorkerCrashError(ReproError):
+    """A batch worker died mid-task (infrastructure failure: retryable)."""
+
+    retryable = True
+
+
+class BatchDeadlineError(ReproError):
+    """The whole-batch deadline budget expired before the task finished."""
+
+
 class FlowError(ReproError):
     """A flow pipeline is malformed or a checkpoint cannot be resumed."""
+
+
+class CheckpointCorruptError(FlowError):
+    """Checkpoint data failed an integrity check (bad bytes, not a
+    mismatch): unreadable manifest JSON, a checksum that does not match
+    the stored artifact, or an artifact that no longer unpickles.
+
+    Distinct from the plain :class:`FlowError` refusals (different
+    flow/pass-list/config), which are deliberate and must stay hard
+    errors: corruption is recoverable by resuming from the last pass
+    whose artifacts still verify.
+    """
+
+
+class CacheIntegrityError(ReproError):
+    """A memoization cache entry failed its integrity fingerprint."""
 
 
 class ObsError(ReproError):
@@ -59,3 +118,17 @@ class SimulationError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark circuit could not be generated or was misconfigured."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Classify an exception for the batch retry policy.
+
+    :class:`ReproError` subclasses answer through their ``retryable``
+    attribute.  Outside the hierarchy, only infrastructure-flavoured
+    failures (OS-level errors, memory pressure, timeouts) are
+    retryable; anything else — pickling failures, type errors, parse
+    errors — is deterministic in the task and fails fast.
+    """
+    if isinstance(exc, ReproError):
+        return bool(exc.retryable)
+    return isinstance(exc, (OSError, MemoryError, TimeoutError))

@@ -2,12 +2,24 @@
 
 A checkpoint directory holds one pickle per artifact plus a JSON
 ``manifest.json`` describing the run: schema version, flow name, the
-full pass list, the prefix of passes already completed, and the mapper
-config that produced the artifacts.  :meth:`FlowCheckpoint.restore`
-refuses to resume when any of those disagree with the resuming pipeline
-— a checkpoint taken under a different config would silently produce a
-different circuit, which is exactly the failure mode the digest tests
-pin against.
+full pass list, the prefix of passes already completed, the mapper
+config that produced the artifacts, and a SHA-256 checksum per stored
+artifact.  :meth:`FlowCheckpoint.restore` refuses to resume when the
+run identity disagrees with the resuming pipeline — a checkpoint taken
+under a different config would silently produce a different circuit,
+which is exactly the failure mode the digest tests pin against.
+
+Integrity failures are treated differently from identity mismatches.
+Every write is atomic (temp file + ``os.replace``) so a crash mid-save
+never leaves a half-written artifact behind a valid manifest, and every
+restore re-hashes the artifact bytes against the manifest checksum
+before unpickling.  When an artifact *is* corrupt — bad checksum,
+truncated pickle, missing file — restore does not give up the whole
+checkpoint: it recomputes the longest completed-pass prefix whose
+artifacts all verify (see :meth:`restore`) and resumes from there,
+recording the recovery on the context's tracer/metrics.  Only the work
+derived from the corrupt bytes is repeated; in the worst case the flow
+re-runs from the start, which is always correct.
 
 Artifacts are pickled (they are plain dataclass/object trees: networks,
 mapping plans, results); the manifest stays human-readable JSON so a
@@ -16,19 +28,45 @@ checkpoint can be inspected without loading it.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pickle
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import List
+from typing import Dict, List, Optional
 
-from ..errors import FlowError
+from ..errors import CheckpointCorruptError, FlowError
+from ..resilience.faults import emit_recovery, fire
 from .context import ARTIFACTS, FlowContext
 
 #: Manifest format identifier; bump on breaking changes.
-CHECKPOINT_SCHEMA = "soidomino-flow-checkpoint/1"
+CHECKPOINT_SCHEMA = "soidomino-flow-checkpoint/2"
 
 MANIFEST_NAME = "manifest.json"
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _write_atomic(path: Path, payload: bytes) -> None:
+    """All-or-nothing file write: temp file in the same directory, then
+    ``os.replace`` (atomic on POSIX), so readers never observe a
+    half-written artifact or manifest."""
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 class FlowCheckpoint:
@@ -50,13 +88,27 @@ class FlowCheckpoint:
     # -- writing ---------------------------------------------------------
     def save(self, ctx: FlowContext, pipeline,
              completed: List[str]) -> None:
-        """Serialize the context's artifacts after a completed pass."""
+        """Serialize the context's artifacts after a completed pass.
+
+        Artifacts are written first, each atomically and with its
+        checksum recorded; the manifest referencing them is replaced
+        last, so an interrupted save leaves the previous checkpoint
+        fully intact (at worst plus some orphaned artifact files the
+        next save overwrites).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
-        stored = {}
+        stored: Dict[str, str] = {}
+        checksums: Dict[str, str] = {}
         for name, value in ctx.artifacts.items():
             path = self._artifact_path(name)
-            with open(path, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            checksums[name] = _sha256(payload)
+            if fire("checkpoint.corrupt", name, ctx.tracer,
+                    ctx.metrics) is not None:
+                # injected fault: damage the bytes *after* the checksum
+                # was recorded, the signature of on-disk corruption
+                payload = b"\xde\xad" + payload[2:]
+            _write_atomic(path, payload)
             stored[name] = path.name
         manifest = {
             "schema": CHECKPOINT_SCHEMA,
@@ -65,20 +117,24 @@ class FlowCheckpoint:
             "completed": list(completed),
             "config": asdict(ctx.config),
             "artifacts": stored,
+            "checksums": checksums,
         }
-        with open(self.manifest_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=1)
-            handle.write("\n")
+        payload = (json.dumps(manifest, indent=1) + "\n").encode("utf-8")
+        _write_atomic(self.manifest_path, payload)
 
     # -- reading ---------------------------------------------------------
     def load_manifest(self) -> dict:
         try:
             with open(self.manifest_path, encoding="utf-8") as handle:
                 manifest = json.load(handle)
-        except (OSError, ValueError) as exc:
+        except OSError as exc:
             raise FlowError(
                 f"cannot read checkpoint manifest {self.manifest_path}: "
                 f"{exc}") from exc
+        except ValueError as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint manifest {self.manifest_path} is not valid "
+                f"JSON: {exc}") from exc
         if manifest.get("schema") != CHECKPOINT_SCHEMA:
             raise FlowError(
                 f"checkpoint {self.directory} has schema "
@@ -86,12 +142,42 @@ class FlowCheckpoint:
                 f"{CHECKPOINT_SCHEMA!r}")
         return manifest
 
+    def _load_verified(self, manifest: dict,
+                       name: str) -> Optional[object]:
+        """The artifact value if its bytes verify and unpickle, else None."""
+        filename = manifest.get("artifacts", {}).get(name)
+        if filename is None:
+            return None
+        path = self.directory / filename
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        expected = manifest.get("checksums", {}).get(name)
+        if expected is None or _sha256(payload) != expected:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any unpickle failure is corruption
+            return None
+
     def restore(self, ctx: FlowContext, pipeline) -> List[str]:
         """Load artifacts into ``ctx``; returns the completed-pass prefix.
 
         Raises :class:`FlowError` when the checkpoint does not belong to
         this pipeline/configuration (different flow, pass list, config,
-        or a completed list that is not a prefix of the pass list).
+        or a completed list that is not a prefix of the pass list) —
+        those mismatches are deliberate refusals, never recovered.
+
+        Corruption is recovered instead: each artifact's bytes are
+        verified against the manifest checksum (and must unpickle); when
+        any fail, the method finds the longest prefix of the completed
+        passes whose input artifacts all verify — an artifact last
+        provided *inside* the prefix must be good, and one last provided
+        *at or beyond* the cut must not also have an earlier provider
+        (its stored value would then belong to a pass being re-run) —
+        loads only the artifacts that prefix produced, and returns the
+        shortened prefix so the pipeline re-runs everything after it.
         """
         manifest = self.load_manifest()
         if manifest.get("flow") != ctx.flow:
@@ -114,17 +200,89 @@ class FlowCheckpoint:
             raise FlowError(
                 f"checkpoint completed passes {completed} are not a "
                 f"prefix of {pipeline.pass_names}")
-        for name, filename in manifest.get("artifacts", {}).items():
+        for name in manifest.get("artifacts", {}):
             if name not in ARTIFACTS:
                 raise FlowError(
                     f"checkpoint {self.directory} stores unknown artifact "
                     f"{name!r}")
-            path = self.directory / filename
-            try:
-                with open(path, "rb") as handle:
-                    ctx.set(name, pickle.load(handle))
-            except (OSError, pickle.UnpicklingError, EOFError) as exc:
-                raise FlowError(
-                    f"cannot load checkpoint artifact {path}: "
-                    f"{exc}") from exc
-        return completed
+
+        values = {name: self._load_verified(manifest, name)
+                  for name in manifest.get("artifacts", {})}
+        corrupt = sorted(name for name, value in values.items()
+                         if value is None)
+        prefix = completed
+        if corrupt:
+            prefix = self._verified_prefix(pipeline, completed, values)
+            emit_recovery(
+                "checkpoint_rewind",
+                f"corrupt artifact(s) {', '.join(corrupt)}; resuming "
+                f"after {prefix[-1] if prefix else '<start>'}",
+                tracer=ctx.tracer, metrics=ctx.metrics,
+                corrupt=corrupt, resumed_passes=len(prefix))
+        keep = self._artifacts_of_prefix(pipeline, completed, values,
+                                         len(prefix))
+        for name in keep:
+            ctx.set(name, values[name])
+        return prefix
+
+    # -- corruption recovery ---------------------------------------------
+    @staticmethod
+    def _last_provider(pipeline, completed: List[str],
+                       name: str) -> Optional[int]:
+        """Index in ``completed`` of the last pass providing ``name``."""
+        from .pipeline import _CONDITIONAL_PROVIDES
+
+        last = None
+        for index, pass_name in enumerate(completed):
+            provides = pipeline.passes[index].provides
+            if (name in provides
+                    or name in _CONDITIONAL_PROVIDES.get(pass_name, ())):
+                last = index
+        return last
+
+    @staticmethod
+    def _providers(pipeline, completed: List[str], name: str) -> List[int]:
+        from .pipeline import _CONDITIONAL_PROVIDES
+
+        return [index for index, pass_name in enumerate(completed)
+                if (name in pipeline.passes[index].provides
+                    or name in _CONDITIONAL_PROVIDES.get(pass_name, ()))]
+
+    def _verified_prefix(self, pipeline, completed: List[str],
+                         values: Dict[str, object]) -> List[str]:
+        """Longest prefix of ``completed`` resumable with good artifacts.
+
+        A cut at ``k`` is valid iff for every stored artifact: if its
+        last provider is inside the prefix (< k) the artifact verified
+        good (the resumed run needs those bytes), and if its last
+        provider is at/beyond the cut it has *no* provider inside the
+        prefix (otherwise the stored value — corrupt or not — belongs to
+        a re-run pass and the prefix's version of it is unrecoverable).
+        ``k = 0`` is always valid: a full re-run needs nothing.
+        """
+        for k in range(len(completed), -1, -1):
+            ok = True
+            for name, value in values.items():
+                providers = self._providers(pipeline, completed, name)
+                if not providers:
+                    continue
+                if providers[-1] < k:
+                    if value is None:
+                        ok = False
+                        break
+                elif any(p < k for p in providers):
+                    ok = False
+                    break
+            if ok:
+                return completed[:k]
+        return []
+
+    def _artifacts_of_prefix(self, pipeline, completed: List[str],
+                             values: Dict[str, object],
+                             k: int) -> List[str]:
+        """Stored artifact names the first ``k`` completed passes own."""
+        return [name for name, value in values.items()
+                if value is not None
+                and (last := self._last_provider(pipeline, completed,
+                                                 name)) is not None
+                and last < k]

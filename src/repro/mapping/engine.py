@@ -41,9 +41,10 @@ from ..domino.circuit import CircuitCost, DominoCircuit
 from ..domino.gate import DominoGate
 from ..domino.rearrange import rearrange
 from ..domino.structure import Leaf, Pulldown
-from ..errors import MappingError
+from ..errors import MappingError, ResourceLimitError
 from ..network import LogicNetwork, NodeType
 from ..pipeline.metrics import MappingStats
+from ..resilience.faults import fire
 from .cost import CostModel
 from .tuples import MapTuple, TupleTable
 
@@ -85,6 +86,14 @@ class MapperConfig:
     rearrange_gates:
         Post-process every materialized gate with the series-stack
         rearrangement pass (RS_Map).
+    max_nodes, max_tuples:
+        Resource ceilings (``None`` — the default — means unlimited).
+        A run that processes more than ``max_nodes`` network nodes, or
+        creates more than ``max_tuples`` DP tuples, stops with a
+        structured :class:`~repro.errors.ResourceLimitError` carrying
+        the partial :class:`~repro.pipeline.MappingStats` — so a
+        pathological input degrades into a reportable per-task failure
+        instead of unbounded memory growth taking the whole batch down.
     duplication:
         Fanout handling.  ``True`` (the paper's regime, following [23]):
         every consumer of a multi-fanout node sees the node's full tuple
@@ -103,8 +112,15 @@ class MapperConfig:
     pareto: bool = False
     rearrange_gates: bool = False
     duplication: bool = True
+    max_nodes: Optional[int] = None
+    max_tuples: Optional[int] = None
 
     def __post_init__(self):
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise MappingError(f"max_nodes must be >= 1, got {self.max_nodes}")
+        if self.max_tuples is not None and self.max_tuples < 1:
+            raise MappingError(
+                f"max_tuples must be >= 1, got {self.max_tuples}")
         if self.w_max < 1 or self.h_max < 2:
             raise MappingError(
                 f"infeasible limits w_max={self.w_max}, h_max={self.h_max}")
@@ -648,9 +664,27 @@ class MappingEngine:
             f"node {node.label} of type {node.type.value} cannot feed a "
             "domino pulldown (constants must be swept before mapping)")
 
+    def _guard_nodes(self) -> None:
+        limit = self.config.max_nodes
+        if limit is not None and self.stats.nodes_processed >= limit:
+            raise ResourceLimitError(
+                f"mapping {self.network.name!r} exceeded max_nodes={limit} "
+                f"({self.stats.tuples_created} tuples so far)",
+                stats=self.stats, limit="max_nodes")
+
+    def _guard_tuples(self) -> None:
+        limit = self.config.max_tuples
+        if limit is not None and self.stats.tuples_created > limit:
+            raise ResourceLimitError(
+                f"mapping {self.network.name!r} exceeded max_tuples={limit} "
+                f"({self.stats.tuples_created} created after "
+                f"{self.stats.nodes_processed} nodes)",
+                stats=self.stats, limit="max_tuples")
+
     def _process_node(self, uid: int) -> None:
         node = self.network.node(uid)
         stats = self.stats
+        self._guard_nodes()
         started = time.perf_counter()
         table = self._cached_table(uid)
         if table is None:
@@ -674,6 +708,7 @@ class MappingEngine:
                     time.perf_counter() - combine_started)
                 self._h_tuples.observe(
                     stats.tuples_created - created_before)
+            self._guard_tuples()
             if not len(table):
                 raise MappingError(
                     f"no feasible {{W,H}} tuple for node {node.label}: "
@@ -761,7 +796,14 @@ class MappingEngine:
     def run_dp(self) -> "MappingEngine":
         """Run the per-node DP over the whole network (no circuit yet)."""
         network = self.network
+        rule = fire("resource.exhaust", network.name, self.tracer,
+                    self.metrics)
+        if rule is not None:
+            raise ResourceLimitError(
+                f"injected resource exhaustion mapping {network.name!r}",
+                stats=self.stats, limit="injected")
         if self.cache is not None and self.cache.enabled:
+            self.cache.bind_obs(self.tracer, self.metrics)
             self._cache_prefix = (self.config.fingerprint(),
                                   self.model.fingerprint())
             self._signatures = self.cache.signatures(network)

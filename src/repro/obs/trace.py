@@ -192,6 +192,21 @@ class Tracer:
                 f"{top.name!r} is innermost")
         top.end_s = self.now()
 
+    def event(self, name: str, category: str = "event",
+              **attributes) -> Span:
+        """Record a zero-duration marker span at the current instant.
+
+        Events ride the normal span tree (children of the innermost
+        open span, roots otherwise), so fault injections and recovery
+        actions show up inline on the Perfetto timeline exactly where
+        they happened.
+        """
+        now = self.now()
+        span = Span(name=name, category=category, start_s=now, end_s=now,
+                    attributes=dict(attributes))
+        self._attach(span)
+        return span
+
     def record_abs(self, name: str, start_pc: float, end_pc: float,
                    category: str = "node",
                    attributes: Optional[Dict[str, object]] = None) -> Span:

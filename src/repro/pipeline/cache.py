@@ -29,6 +29,18 @@ multi-fanout interior, whose DP view depends on sharing amortization.
 ``TreeCache(enabled=False)`` (or flipping :attr:`TreeCache.enabled` at
 any time) is the correctness-preserving bypass: lookups miss, nothing is
 stored, and mapping proceeds exactly as without a cache.
+
+Entries are integrity-checked: :meth:`TreeCache.put` fingerprints the
+stored template and :meth:`TreeCache.fetch` re-derives the fingerprint
+before instantiating a hit.  A mismatch — memory corruption, or a bug
+mutating a template that is supposed to be immutable shared state — is
+*poison*: reusing the entry would silently map a different circuit, the
+worst failure mode a memoization layer has.  The poisoned entry is
+evicted, the fetch reports a miss (the DP recomputes the table, which
+is always correct), and the recovery is counted/traced via
+:meth:`TreeCache.bind_obs`.  The ``cache.poison`` fault point of
+:mod:`repro.resilience` mutates a fetched template in exactly this way
+so the detection path stays tested.
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ from typing import Dict, List, Optional, Tuple
 from ..domino.structure import Leaf, Pulldown
 from ..mapping.tuples import MapTuple, TupleTable
 from ..network import LogicNetwork, NodeType
+from ..resilience.faults import emit_recovery, fire
 
 #: Signature id reserved for a primary-input leaf.
 _PI_SIG = 0
@@ -63,12 +76,21 @@ class TreeCache:
         self.enabled = enabled
         self.max_entries = max_entries
         self._entries: Dict[tuple, _Template] = {}
+        self._fingerprints: Dict[tuple, int] = {}
         self._intern: Dict[Tuple[str, int, int], int] = {}
         self._next_sig = _PI_SIG + 1
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.skipped = 0       #: store attempts dropped (cap or ambiguity)
+        self.evictions = 0     #: entries dropped by integrity validation
+        self._tracer = None
+        self._metrics = None
+
+    def bind_obs(self, tracer=None, metrics=None) -> None:
+        """Attach obs handles so integrity evictions are traced/counted."""
+        self._tracer = tracer
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # shape signatures
@@ -116,9 +138,28 @@ class TreeCache:
         """Rebuild the cached table for ``uid``'s cone, or None on miss."""
         if not self.enabled:
             return None
-        template = self._entries.get((prefix, sig))
+        key = (prefix, sig)
+        template = self._entries.get(key)
         if template is None:
             self.misses += 1
+            return None
+        rule = fire("cache.poison", f"sig:{sig}", self._tracer,
+                    self._metrics)
+        if rule is not None and template and template[0][1]:
+            # injected fault: mutate the stored template without
+            # refreshing its fingerprint — the shape real poison takes
+            template[0][1][0].wcost += 1.0
+        if _template_fingerprint(template) != self._fingerprints.get(key):
+            # Poisoned entry: instantiating it would silently map a
+            # different circuit.  Evict and miss; the DP recomputes.
+            del self._entries[key]
+            self._fingerprints.pop(key, None)
+            self.evictions += 1
+            self.misses += 1
+            emit_recovery("cache_evict",
+                          f"integrity fingerprint mismatch for sig {sig}",
+                          tracer=self._tracer, metrics=self._metrics,
+                          sig=sig)
             return None
         maps = _subtree_maps(network, uid)
         if maps is None:
@@ -157,6 +198,7 @@ class TreeCache:
                 templated.append(abstract)
             template.append((shape, templated))
         self._entries[key] = template
+        self._fingerprints[key] = _template_fingerprint(template)
         self.stores += 1
         return True
 
@@ -178,16 +220,46 @@ class TreeCache:
             "misses": self.misses,
             "stores": self.stores,
             "skipped": self.skipped,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
     def clear(self) -> None:
         self._entries.clear()
+        self._fingerprints.clear()
         self.hits = self.misses = self.stores = self.skipped = 0
+        self.evictions = 0
 
     def __repr__(self) -> str:
         return (f"TreeCache(enabled={self.enabled}, entries={len(self)}, "
                 f"hits={self.hits}, misses={self.misses})")
+
+
+# ---------------------------------------------------------------------------
+# entry integrity
+# ---------------------------------------------------------------------------
+def _structure_key(structure: Pulldown) -> tuple:
+    if isinstance(structure, Leaf):
+        return ("L", structure.signal, structure.is_primary,
+                structure.source_gate)
+    return (type(structure).__name__,
+            tuple(_structure_key(c) for c in structure.children))
+
+
+def _tuple_key(t: MapTuple) -> tuple:
+    return (t.width, t.height, t.wcost, t.trans, t.disch, t.levels,
+            t.p_dis, t.par_b, t.has_pi, t.p_tail, t.ends_par,
+            _structure_key(t.structure))
+
+
+def _template_fingerprint(template: _Template) -> int:
+    """Structural hash of a stored template (every field that feeds a
+    rebuilt table).  Derived at store time and re-derived on fetch, so
+    any later mutation of the shared entry is detected before its bytes
+    are instantiated into a live DP table.  In-process only (uses
+    ``hash``), which matches the cache's lifetime."""
+    return hash(tuple((shape, tuple(_tuple_key(t) for t in slot))
+                      for shape, slot in template))
 
 
 # ---------------------------------------------------------------------------

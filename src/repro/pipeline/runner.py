@@ -8,8 +8,16 @@ pickle across a :class:`concurrent.futures.ProcessPoolExecutor`.
 * **parallel fan-out** across a process pool (``max_workers`` processes,
   each owning a private :class:`~repro.pipeline.TreeCache` so repeated
   tree shapes are mapped once per worker),
-* **per-task timeouts** and **bounded retries** for infrastructure
-  failures (a hung or crashed worker), and
+* **per-task timeouts**, **classified retries** with exponential
+  backoff and deterministic jitter (only *retryable* infrastructure
+  failures — a hung or crashed worker — are resubmitted; deterministic
+  task failures fail fast, see :func:`repro.errors.is_retryable`),
+* **hung-slot reclamation**: a timed-out future cannot be cancelled
+  once running, so the runner rebuilds the pool instead of leaking the
+  slot — retries always get real capacity,
+* a **whole-batch deadline budget** (``deadline_s``) after which
+  unfinished tasks are reported as structured
+  ``BatchDeadlineError`` failures instead of stalling the sweep, and
 * **graceful degradation**: ``max_workers=1`` — or a broken pool, or a
   task that exhausted its retries — runs in-process serially with the
   runner's own shared cache, so a sweep always completes.
@@ -24,6 +32,14 @@ the error string for failed tasks.  Results come back in task order and are
 bit-identical between pool and serial execution: each task is a
 deterministic function of its fields, and cache reuse reconstructs DP
 tables exactly (see ``pipeline/cache.py``).
+
+Every degradation decision the runner takes — a retry, a pool rebuild,
+a fail-fast, a fallback — is recorded on :attr:`BatchReport.events`
+and counted in :attr:`BatchReport.runner_metrics`
+(``repro_resilience_*``), and the fault points of
+:mod:`repro.resilience` (worker crash, task hang, parse failure, ...)
+inject exactly those failures deterministically, so the whole recovery
+surface is testable (``tests/resilience``, ``soidomino chaos``).
 """
 
 from __future__ import annotations
@@ -34,12 +50,22 @@ from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..domino.circuit import CircuitCost
+from ..errors import ParseError, WorkerCrashError, is_retryable
 from ..mapping import CostModel, MapperConfig, map_network
 from ..mapping.flows import FLOW_PRESETS
 from ..obs import MetricsRegistry, Span, Tracer, stitch
+from ..resilience.faults import (
+    FaultPlan,
+    active_plan,
+    emit_recovery,
+    fire,
+    hash_fraction,
+    install,
+    install_from_env,
+)
 from .cache import TreeCache
 from .metrics import MappingStats
 
@@ -82,8 +108,11 @@ class BatchResult:
     metrics: Optional[MetricsRegistry] = None
     elapsed_s: float = 0.0
     error: Optional[str] = None
-    #: "pool", "serial", or "serial-fallback" (pool gave up on this task)
+    #: "pool", "serial", "serial-fallback" (pool gave up on this task),
+    #: or "deadline" (the batch budget expired before it could run)
     mode: str = "serial"
+    #: pool submissions made for this task (the in-process fallback run,
+    #: if any, is not counted)
     attempts: int = 1
 
     @property
@@ -98,6 +127,12 @@ class BatchReport:
     results: List[BatchResult] = field(default_factory=list)
     wall_s: float = 0.0
     mode: str = "serial"
+    #: runner-side degradation log: one dict per retry / rebuild /
+    #: fail-fast / fallback / deadline decision, in the order taken
+    events: List[Dict[str, object]] = field(default_factory=list)
+    #: runner-side ``repro_resilience_*`` counters (parent process);
+    #: worker-side counters ride each result's ``metrics``
+    runner_metrics: Optional[MetricsRegistry] = None
 
     @property
     def ok(self) -> bool:
@@ -115,11 +150,14 @@ class BatchReport:
         return total
 
     def total_metrics(self) -> MetricsRegistry:
-        """All task registries merged (deterministic: fixed buckets)."""
+        """All task registries merged (deterministic: fixed buckets),
+        plus the runner's own recovery counters."""
         total = MetricsRegistry()
         for r in self.results:
             if r.metrics is not None:
                 total.merge(r.metrics)
+        if self.runner_metrics is not None:
+            total.merge(self.runner_metrics)
         return total
 
     def build_trace(self) -> Span:
@@ -128,8 +166,10 @@ class BatchReport:
         Worker clocks are private to their processes, so the stitched
         timeline is schematic — circuits (and tasks within a circuit)
         are laid end-to-end in task order — but every task subtree's
-        internal nesting and durations are real.  The returned root is
-        what ``soidomino batch --trace FILE`` exports.
+        internal nesting and durations are real.  Runner-side
+        degradation events are appended as a ``resilience`` lane of
+        zero-duration marker spans.  The returned root is what
+        ``soidomino batch --trace FILE`` exports.
         """
         by_circuit: Dict[str, List[Span]] = {}
         for r in self.results:
@@ -139,9 +179,22 @@ class BatchReport:
             stitch(f"circuit:{name}", trees, category="circuit",
                    attributes={"tasks": len(trees)})
             for name, trees in by_circuit.items()]
-        return stitch("batch", circuit_spans, category="batch",
+        root = stitch("batch", circuit_spans, category="batch",
                       attributes={"mode": self.mode,
                                   "results": len(self.results)})
+        if self.events:
+            lane = Span(name="resilience", category="resilience",
+                        start_s=root.start_s, end_s=root.end_s,
+                        attributes={"events": len(self.events)})
+            for event in self.events:
+                at = float(event.get("t_s", 0.0))
+                lane.children.append(Span(
+                    name=f"{event.get('kind', 'event')}",
+                    category="recovery", start_s=at, end_s=at,
+                    attributes={k: v for k, v in event.items()
+                                if k != "t_s"}))
+            root.children.append(lane)
+        return root
 
     @property
     def task_time_s(self) -> float:
@@ -171,21 +224,44 @@ def _load_network(source: str):
 
 
 def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
-                 mode: str = "serial") -> BatchResult:
+                 mode: str = "serial", attempt: int = 1) -> BatchResult:
     """Run one task to completion; failures become error results.
 
     Each task records into a private tracer/registry: the root ``task``
     span (tagged with the worker pid so Chrome-trace lanes separate)
     and the registry ride the picklable :class:`BatchResult` back to
     the parent, which stitches and merges them.
+
+    ``attempt`` is the submission number the runner is on for this
+    task; fault rules with an ``max_attempt`` window read it, which is
+    how chaos runs make first attempts fail and retries succeed.  In
+    pool mode, *retryable* errors (see :func:`repro.errors.is_retryable`)
+    propagate to the parent as future exceptions so the retry policy
+    can classify them; everything else is reported as an error result.
     """
     started = time.perf_counter()
     tracer = Tracer(name=f"task:{task.label}")
     metrics = MetricsRegistry()
+    plan = active_plan()
+    if plan is not None:
+        plan.attempt = attempt
     try:
         with tracer.span(f"task:{task.label}", category="task",
                          circuit=task.circuit, flow=task.flow,
-                         pid=os.getpid(), mode=mode) as root:
+                         pid=os.getpid(), mode=mode,
+                         attempt=attempt) as root:
+            rule = fire("worker.crash", task.label, tracer, metrics)
+            if rule is not None:
+                if rule.hard and mode == "pool":
+                    os._exit(13)
+                raise WorkerCrashError(
+                    f"injected worker crash executing {task.label}")
+            rule = fire("task.hang", task.label, tracer, metrics)
+            if rule is not None:
+                time.sleep(rule.sleep_s)
+            if fire("parse.fail", task.circuit, tracer, metrics) is not None:
+                raise ParseError("injected parse failure",
+                                 filename=task.circuit)
             network = _load_network(task.circuit)
             result = map_network(network, flow=task.flow,
                                  cost_model=task.cost_model,
@@ -196,26 +272,36 @@ def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
                            pass_times=result.pass_times(),
                            trace=root, metrics=metrics,
                            elapsed_s=time.perf_counter() - started,
-                           mode=mode)
+                           mode=mode, attempts=attempt)
     except Exception as exc:  # noqa: BLE001 - one bad task must not kill a sweep
+        if mode == "pool" and is_retryable(exc):
+            # infrastructure failure: let the parent's retry policy see
+            # the real exception instead of a flattened error string
+            raise
         return BatchResult(task=task, error=f"{type(exc).__name__}: {exc}",
                            trace=tracer.roots[0] if tracer.roots else None,
                            metrics=metrics,
                            elapsed_s=time.perf_counter() - started,
-                           mode=mode)
+                           mode=mode, attempts=attempt)
 
 
 #: Per-worker-process cache, installed by the pool initializer.
 _WORKER_CACHE: Optional[TreeCache] = None
 
 
-def _init_worker(cache_enabled: bool) -> None:
+def _init_worker(cache_enabled: bool,
+                 plan: Optional[FaultPlan] = None) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = TreeCache() if cache_enabled else None
+    if plan is not None:
+        install(plan)
+    else:
+        install_from_env()
 
 
-def _pool_execute(task: BatchTask) -> BatchResult:
-    return execute_task(task, cache=_WORKER_CACHE, mode="pool")
+def _pool_execute(task: BatchTask, attempt: int = 1) -> BatchResult:
+    return execute_task(task, cache=_WORKER_CACHE, mode="pool",
+                        attempt=attempt)
 
 
 # ---------------------------------------------------------------------------
@@ -231,28 +317,57 @@ class BatchRunner:
         serially in-process (no pool at all).
     timeout_s:
         Per-task result deadline in pool mode; a task that misses it is
-        retried and finally degraded to in-process execution.  ``None``
+        retried (on a rebuilt pool, so the hung worker's slot is not
+        leaked) and finally degraded to in-process execution.  ``None``
         waits forever.  (Serial execution cannot enforce timeouts.)
     retries:
-        Resubmissions allowed per task for infrastructure failures
+        Resubmissions allowed per task for *retryable* failures
         (timeout, worker crash) before degrading to serial.
+        Non-retryable errors fail fast regardless.
+    backoff_base_s, backoff_cap_s:
+        Exponential-backoff schedule for retries: attempt *n* waits
+        ``min(cap, base * 2**(n-1))`` scaled by a deterministic jitter
+        factor in [0.5, 1.5) derived from the task label, so a sweep's
+        retry timing is reproducible yet uncorrelated across tasks.
+    deadline_s:
+        Whole-batch wall-clock budget.  Once expired, no further
+        retries or fallbacks run; unfinished tasks are reported as
+        ``BatchDeadlineError`` failures with ``mode="deadline"``.
+        ``None`` (default) means no budget.
     use_cache:
         Attach :class:`TreeCache` memoization — the runner's shared
         cache in serial mode, one private cache per pool worker.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` installed for the
+        run (parent process and every pool worker).  Default: the
+        ambient plan (:func:`repro.resilience.active_plan`), if any, is
+        forwarded to workers.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
                  timeout_s: Optional[float] = None,
                  retries: int = 1,
                  use_cache: bool = True,
-                 cache: Optional[TreeCache] = None):
+                 cache: Optional[TreeCache] = None,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 5.0,
+                 deadline_s: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         self.max_workers = max_workers
         self.timeout_s = timeout_s
         self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.deadline_s = deadline_s
+        self.fault_plan = fault_plan
         self.use_cache = use_cache or cache is not None
         self.cache = cache if cache is not None else (
             TreeCache() if use_cache else None)
@@ -286,67 +401,245 @@ class BatchRunner:
                     f"task {task.label!r}: unknown flow {task.flow!r}; "
                     f"expected one of {', '.join(FLOW_PRESETS)}")
         started = time.perf_counter()
-        workers = self.max_workers or os.cpu_count() or 1
-        workers = min(workers, max(1, len(tasks)))
-        if workers == 1 or not tasks:
-            results = [execute_task(t, cache=self.cache) for t in tasks]
-            mode = "serial"
-        else:
-            results = self._run_pool(tasks, workers)
-            mode = "pool"
-        return BatchReport(results=results,
-                           wall_s=time.perf_counter() - started, mode=mode)
+        previous = (install(self.fault_plan)
+                    if self.fault_plan is not None else None)
+        try:
+            workers = self.max_workers or os.cpu_count() or 1
+            workers = min(workers, max(1, len(tasks)))
+            if workers == 1 or not tasks:
+                report = self._run_serial_list(tasks, started)
+            else:
+                report = self._run_pool(tasks, workers, started)
+        finally:
+            if self.fault_plan is not None:
+                install(previous)
+        report.wall_s = time.perf_counter() - started
+        return report
 
     def run_serial(self, tasks: Iterable[BatchTask]) -> BatchReport:
         """Force in-process serial execution (shared cache, no pool)."""
         tasks = list(tasks)
         started = time.perf_counter()
-        results = [execute_task(t, cache=self.cache) for t in tasks]
-        return BatchReport(results=results,
-                           wall_s=time.perf_counter() - started,
-                           mode="serial")
-
-    def _run_pool(self, tasks: List[BatchTask],
-                  workers: int) -> List[BatchResult]:
-        results: dict = {}
-        attempts = dict.fromkeys(range(len(tasks)), 1)
+        previous = (install(self.fault_plan)
+                    if self.fault_plan is not None else None)
         try:
-            with ProcessPoolExecutor(
-                    max_workers=workers, initializer=_init_worker,
-                    initargs=(self.use_cache,)) as pool:
-                inflight = deque(
-                    (i, pool.submit(_pool_execute, tasks[i]))
-                    for i in range(len(tasks)))
-                while inflight:
-                    index, future = inflight.popleft()
-                    try:
-                        result = future.result(timeout=self.timeout_s)
-                        result.attempts = attempts[index]
-                        results[index] = result
-                    except FuturesTimeoutError:
-                        future.cancel()
+            report = self._run_serial_list(tasks, started)
+        finally:
+            if self.fault_plan is not None:
+                install(previous)
+        report.wall_s = time.perf_counter() - started
+        return report
+
+    def _run_serial_list(self, tasks: List[BatchTask],
+                         started: float) -> BatchReport:
+        """In-process execution honouring the batch deadline budget."""
+        deadline = (started + self.deadline_s
+                    if self.deadline_s is not None else None)
+        metrics = MetricsRegistry()
+        events: List[Dict[str, object]] = []
+        results: List[BatchResult] = []
+        for task in tasks:
+            if deadline is not None and time.perf_counter() >= deadline:
+                results.append(self._deadline_result(task, attempts=0))
+                self._record(events, metrics, started, "deadline_abandon",
+                             task=task.label,
+                             detail=f"budget {self.deadline_s}s expired")
+                continue
+            results.append(execute_task(task, cache=self.cache))
+        return BatchReport(results=results, mode="serial", events=events,
+                           runner_metrics=metrics)
+
+    # -- pool internals --------------------------------------------------
+    def _make_pool(self, workers: int,
+                   plan: Optional[FaultPlan]) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_init_worker,
+                                   initargs=(self.use_cache, plan))
+
+    def _backoff_s(self, label: str, attempt: int, seed: int) -> float:
+        """Deterministic-jitter exponential backoff before retry
+        ``attempt + 1`` of the task labelled ``label``."""
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** max(0, attempt - 1)))
+        jitter = 0.5 + hash_fraction(seed, "backoff", f"{label}#{attempt}")
+        return base * jitter
+
+    def _deadline_result(self, task: BatchTask,
+                         attempts: int) -> BatchResult:
+        return BatchResult(
+            task=task, mode="deadline", attempts=max(0, attempts),
+            error=(f"BatchDeadlineError: batch deadline "
+                   f"{self.deadline_s}s expired before task completed"))
+
+    @staticmethod
+    def _record(events: List[Dict[str, object]], metrics: MetricsRegistry,
+                started: float, kind: str, **fields_) -> None:
+        """Log one degradation decision (event list + counters)."""
+        event: Dict[str, object] = {
+            "kind": kind, "t_s": time.perf_counter() - started}
+        event.update(fields_)
+        events.append(event)
+        emit_recovery(kind, str(fields_.get("detail", "")), metrics=metrics)
+
+    def _run_pool(self, tasks: List[BatchTask], workers: int,
+                  started: float) -> BatchReport:
+        plan = (self.fault_plan if self.fault_plan is not None
+                else active_plan())
+        seed = plan.seed if plan is not None else 0
+        deadline = (started + self.deadline_s
+                    if self.deadline_s is not None else None)
+        metrics = MetricsRegistry()
+        events: List[Dict[str, object]] = []
+        results: Dict[int, BatchResult] = {}
+        attempts = dict.fromkeys(range(len(tasks)), 0)
+        pool = self._make_pool(workers, plan)
+        inflight: Deque[Tuple[int, object]] = deque()
+        scheduled: List[Tuple[float, int]] = []  # (ready_at, index)
+
+        def submit(index: int, count_attempt: bool = True) -> None:
+            if count_attempt:
+                attempts[index] += 1
+            inflight.append((index, pool.submit(_pool_execute, tasks[index],
+                                                attempts[index])))
+
+        def schedule_retry(index: int, reason: str) -> None:
+            delay = self._backoff_s(tasks[index].label, attempts[index],
+                                    seed)
+            scheduled.append((time.perf_counter() + delay, index))
+            self._record(events, metrics, started, "retry",
+                         task=tasks[index].label, detail=reason,
+                         attempt=attempts[index], backoff_s=round(delay, 4))
+
+        def rebuild_pool(reason: str, victim: Optional[int] = None) -> None:
+            # cancel() is a no-op on running futures, so a hung or dead
+            # worker would keep its slot forever; replacing the whole
+            # pool is the only way to guarantee retries real capacity.
+            nonlocal pool
+            resubmit: List[int] = []
+            for i, f in list(inflight):
+                if i == victim:
+                    continue
+                if f.done() and not f.cancelled() and f.exception() is None:
+                    result = f.result()
+                    result.attempts = attempts[i]
+                    results[i] = result
+                else:
+                    f.cancel()
+                    resubmit.append(i)
+            inflight.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = self._make_pool(workers, plan)
+            for i in resubmit:
+                submit(i, count_attempt=False)
+            self._record(events, metrics, started, "pool_rebuild",
+                         detail=reason, resubmitted=len(resubmit))
+
+        try:
+            for i in range(len(tasks)):
+                submit(i)
+            while inflight or scheduled:
+                now = time.perf_counter()
+                if deadline is not None and now >= deadline:
+                    break
+                if scheduled:
+                    due = [e for e in scheduled if e[0] <= now]
+                    if due:
+                        scheduled = [e for e in scheduled if e[0] > now]
+                        for _, i in due:
+                            submit(i)
+                if not inflight:
+                    # everything left is waiting out its backoff
+                    wake = min(ready for ready, _ in scheduled)
+                    if deadline is not None:
+                        wake = min(wake, deadline)
+                    pause = wake - time.perf_counter()
+                    if pause > 0:
+                        time.sleep(pause)
+                    continue
+                index, future = inflight.popleft()
+                timeout = self.timeout_s
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        inflight.appendleft((index, future))
+                        break
+                    timeout = (remaining if timeout is None
+                               else min(timeout, remaining))
+                try:
+                    result = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    if (deadline is not None
+                            and time.perf_counter() >= deadline
+                            and (self.timeout_s is None
+                                 or timeout < self.timeout_s)):
+                        # the *batch* budget cut this wait short, not
+                        # the per-task timeout: let the deadline path
+                        # account for the task
+                        inflight.appendleft((index, future))
+                        break
+                    future.cancel()
+                    rebuild_pool(f"task {tasks[index].label} exceeded "
+                                 f"timeout {self.timeout_s}s",
+                                 victim=index)
+                    if attempts[index] <= self.retries:
+                        schedule_retry(index, "per-task timeout")
+                    # else: left unfinished -> serial fallback below
+                    continue
+                except BrokenExecutor as exc:
+                    rebuild_pool(f"pool broke under {tasks[index].label}: "
+                                 f"{type(exc).__name__}", victim=index)
+                    if attempts[index] <= self.retries:
+                        schedule_retry(
+                            index, f"worker died: {type(exc).__name__}")
+                    # else: left unfinished -> serial fallback below
+                    continue
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    if is_retryable(exc):
                         if attempts[index] <= self.retries:
-                            attempts[index] += 1
-                            inflight.append(
-                                (index, pool.submit(_pool_execute,
-                                                    tasks[index])))
-                        # else: left unfinished -> serial fallback below
-                    except BrokenExecutor:
-                        raise
-                    except Exception:
-                        # submission/pickling failure for this future
-                        if attempts[index] <= self.retries:
-                            attempts[index] += 1
-                            inflight.append(
-                                (index, pool.submit(_pool_execute,
-                                                    tasks[index])))
-        except (BrokenExecutor, OSError):
-            # the pool itself died: everything unfinished degrades
-            pass
-        for index in range(len(tasks)):
-            if index not in results:
-                result = execute_task(tasks[index], cache=self.cache,
-                                      mode="serial-fallback")
+                            schedule_retry(
+                                index, f"{type(exc).__name__}: {exc}")
+                        # else: retries exhausted -> serial fallback
+                        continue
+                    # deterministic task failure (parse/pickling/...):
+                    # retrying or falling back would reproduce it
+                    results[index] = BatchResult(
+                        task=tasks[index],
+                        error=f"{type(exc).__name__}: {exc}",
+                        mode="pool", attempts=attempts[index])
+                    self._record(events, metrics, started, "fail_fast",
+                                 task=tasks[index].label,
+                                 detail=f"{type(exc).__name__}: {exc}")
+                    continue
                 result.attempts = attempts[index]
                 results[index] = result
-        return [results[i] for i in range(len(tasks))]
+        except (BrokenExecutor, OSError):
+            # the pool itself died and could not be rebuilt: everything
+            # unfinished degrades to the serial path below
+            pass
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        deadline_hit = (deadline is not None
+                        and time.perf_counter() >= deadline)
+        for index in range(len(tasks)):
+            if index in results:
+                continue
+            task = tasks[index]
+            if deadline_hit:
+                results[index] = self._deadline_result(
+                    task, attempts=attempts[index])
+                self._record(events, metrics, started, "deadline_abandon",
+                             task=task.label,
+                             detail=f"budget {self.deadline_s}s expired")
+                continue
+            self._record(events, metrics, started, "serial_fallback",
+                         task=task.label,
+                         detail=f"after {attempts[index]} pool attempts")
+            result = execute_task(task, cache=self.cache,
+                                  mode="serial-fallback",
+                                  attempt=attempts[index] + 1)
+            result.attempts = max(1, attempts[index])
+            results[index] = result
+        return BatchReport(results=[results[i] for i in range(len(tasks))],
+                           mode="pool", events=events,
+                           runner_metrics=metrics)

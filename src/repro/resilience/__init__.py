@@ -1,0 +1,84 @@
+"""repro.resilience — deterministic fault injection and chaos drills.
+
+Two halves (DESIGN.md section 11):
+
+* :mod:`repro.resilience.faults` — the :data:`FAULT_POINTS` registry of
+  named injection sites, :class:`FaultPlan`/:class:`FaultRule` seeded
+  activation, the per-process :func:`install`/:func:`active_plan`
+  switchboard (``REPRO_FAULTS`` env var for CLI surfaces and batch
+  workers), and the obs emission helpers every site and recovery path
+  report through;
+* :mod:`repro.resilience.chaos` — the fault-matrix drill behind
+  ``soidomino chaos``: one scenario per registered fault point, each
+  asserting its documented recovery and bit-identical digests for
+  non-faulted work.
+
+``chaos`` imports the batch pipeline, so it resolves lazily (PEP 562)
+and the fault core stays importable from the mapping engine's hot path
+without cycles.
+"""
+
+from __future__ import annotations
+
+from .faults import (
+    FAULT_POINTS,
+    FAULTS_ENV,
+    RESILIENCE_PREFIX,
+    FaultPlan,
+    FaultPoint,
+    FaultRule,
+    active_plan,
+    emit_fault,
+    emit_recovery,
+    fault_counter,
+    fire,
+    hash_fraction,
+    install,
+    install_from_env,
+    plan_from_spec,
+    recovery_counter,
+    uninstall,
+)
+
+_LAZY = {
+    "ChaosOutcome": ("chaos", "ChaosOutcome"),
+    "ChaosReport": ("chaos", "ChaosReport"),
+    "run_chaos": ("chaos", "run_chaos"),
+    "chaos_sites": ("chaos", "chaos_sites"),
+}
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULTS_ENV",
+    "RESILIENCE_PREFIX",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultRule",
+    "active_plan",
+    "emit_fault",
+    "emit_recovery",
+    "fault_counter",
+    "fire",
+    "hash_fraction",
+    "install",
+    "install_from_env",
+    "plan_from_spec",
+    "recovery_counter",
+    "uninstall",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), attr)
+
+
+def __dir__():
+    return sorted(__all__)

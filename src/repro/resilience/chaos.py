@@ -1,0 +1,287 @@
+"""The fault-matrix chaos drill behind ``soidomino chaos``.
+
+:func:`run_chaos` runs one scenario per registered fault point (the
+full :data:`~repro.resilience.faults.FAULT_POINTS` matrix, or a chosen
+subset): a seeded :class:`FaultPlan` activating exactly that site is
+installed, a small real workload runs through the production stack —
+the batch pool for the worker-facing sites, a checkpointed flow for
+checkpoint corruption, a shared :class:`~repro.pipeline.TreeCache` for
+cache poisoning — and the scenario passes only if the site's
+*documented* recovery happened: hung/crashed workers were retried to
+success, deterministic failures failed fast as structured per-task
+errors, corrupt checkpoints rewound to the last verified pass, poisoned
+cache entries were evicted and recomputed.  Every scenario also demands
+**bit-identical digests** against a fault-free baseline for all work
+that was supposed to survive, which is what separates "recovered" from
+"limped to a different answer".
+
+Everything is deterministic in ``seed``: fault decisions are hash-based
+(see :mod:`repro.resilience.faults`), so a failing chaos run reproduces
+from its command line alone.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench_suite import load_circuit
+from ..mapping import map_network
+from .faults import FAULT_POINTS, FaultPlan, FaultRule, install
+
+#: Default chaos workload: small enough for a CI smoke run, large
+#: enough that every scenario has non-faulted neighbours to digest-pin.
+DEFAULT_CIRCUITS = ("mux", "cm150", "z4ml")
+
+
+def chaos_sites() -> List[str]:
+    """Registered fault-point names, in registry order."""
+    return list(FAULT_POINTS)
+
+
+@dataclass
+class ChaosOutcome:
+    """Result of one fault point's scenario."""
+
+    site: str
+    spec: str                 #: the exact fault-plan spec that ran
+    ok: bool
+    detail: str
+    #: per-task outcome strings, label -> "ok" / the error (batch sites)
+    tasks: Dict[str, str] = field(default_factory=dict)
+    #: True when every non-faulted task's digest matched the baseline
+    digests_ok: Optional[bool] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"site": self.site, "spec": self.spec, "ok": self.ok,
+                "detail": self.detail, "tasks": dict(self.tasks),
+                "digests_ok": self.digests_ok}
+
+
+@dataclass
+class ChaosReport:
+    """All scenario outcomes of one chaos run."""
+
+    seed: int
+    circuits: Tuple[str, ...]
+    outcomes: List[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"schema": "soidomino-chaos/1", "seed": self.seed,
+                "circuits": list(self.circuits), "ok": self.ok,
+                "outcomes": [o.as_dict() for o in self.outcomes]}
+
+    def __repr__(self) -> str:
+        good = sum(1 for o in self.outcomes if o.ok)
+        return f"ChaosReport({good}/{len(self.outcomes)} ok, seed={self.seed})"
+
+
+# ---------------------------------------------------------------------------
+# scenario plumbing
+# ---------------------------------------------------------------------------
+def _batch_scenario(plan: FaultPlan, circuits: Sequence[str], jobs: int,
+                    timeout_s: Optional[float], retries: int):
+    """Run the standard workload under ``plan`` through the batch pool."""
+    from ..pipeline import BatchRunner
+
+    runner = BatchRunner(max_workers=jobs, timeout_s=timeout_s,
+                         retries=retries, fault_plan=plan)
+    tasks = BatchRunner.sweep_tasks(circuits=list(circuits))
+    return runner.run(tasks), tasks
+
+
+def _task_outcomes(report) -> Dict[str, str]:
+    return {r.task.label: "ok" if r.ok else (r.error or "failed")
+            for r in report.results}
+
+
+def _check_digests(report, baseline: Dict[str, str],
+                   faulted_label: str) -> bool:
+    """Non-faulted tasks must reproduce the baseline bit-for-bit."""
+    return all(r.digest == baseline[r.task.label]
+               for r in report.results
+               if faulted_label not in r.task.label and r.ok)
+
+
+def _verdict(site: str, spec: str, ok: bool, detail: str, report,
+             digests_ok: Optional[bool]) -> ChaosOutcome:
+    return ChaosOutcome(site=site, spec=spec, ok=ok, detail=detail,
+                        tasks=_task_outcomes(report) if report else {},
+                        digests_ok=digests_ok)
+
+
+# ---------------------------------------------------------------------------
+# the drill
+# ---------------------------------------------------------------------------
+def run_chaos(circuits: Optional[Sequence[str]] = None, *, seed: int = 0,
+              jobs: int = 2, sites: Optional[Sequence[str]] = None,
+              timeout_s: float = 30.0, hang_timeout_s: float = 0.5,
+              retries: int = 1) -> ChaosReport:
+    """Run the fault-matrix drill; every scenario must recover.
+
+    ``circuits[0]`` is the *target* the fault rules match, so its
+    neighbours double as the bit-identity control group.  ``jobs`` is
+    the pool width for the batch scenarios (>= 2 exercises real
+    parallelism); ``hang_timeout_s`` is the per-task timeout the
+    ``task.hang`` scenario runs under (the injected hang sleeps past
+    it).
+    """
+    circuits = tuple(circuits) if circuits else DEFAULT_CIRCUITS
+    target = circuits[0]
+    chosen = list(sites) if sites else chaos_sites()
+    for site in chosen:
+        if site not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown chaos site {site!r}; registered: "
+                f"{', '.join(FAULT_POINTS)}")
+
+    report = ChaosReport(seed=seed, circuits=circuits)
+
+    # fault-free baseline: the digests every scenario is held to
+    from ..pipeline import BatchRunner
+
+    baseline_run = BatchRunner(max_workers=1).run(
+        BatchRunner.sweep_tasks(circuits=list(circuits)))
+    if not baseline_run.ok:
+        raise RuntimeError(
+            "chaos baseline failed (without any faults): "
+            + "; ".join(f"{r.task.label}: {r.error}"
+                        for r in baseline_run.failures))
+    baseline = {r.task.label: r.digest for r in baseline_run.results}
+
+    runners = {
+        "worker.crash": _run_worker_crash,
+        "task.hang": _run_task_hang,
+        "parse.fail": _run_parse_fail,
+        "resource.exhaust": _run_resource_exhaust,
+        "checkpoint.corrupt": _run_checkpoint_corrupt,
+        "cache.poison": _run_cache_poison,
+    }
+    for site in chosen:
+        report.outcomes.append(runners[site](
+            seed=seed, circuits=circuits, target=target, jobs=jobs,
+            timeout_s=timeout_s, hang_timeout_s=hang_timeout_s,
+            retries=retries, baseline=baseline))
+    return report
+
+
+def _run_worker_crash(*, seed, circuits, target, jobs, timeout_s,
+                      retries, baseline, **_) -> ChaosOutcome:
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("worker.crash", match=target),))
+    run, _tasks = _batch_scenario(plan, circuits, jobs, timeout_s, retries)
+    digests_ok = (run.ok
+                  and all(r.digest == baseline[r.task.label]
+                          for r in run.results))
+    retried = any(e["kind"] in ("retry", "pool_rebuild")
+                  for e in run.events)
+    ok = run.ok and digests_ok and retried
+    detail = (f"crash on {target!r} attempt 1, "
+              f"{'retried to success' if retried else 'NO RETRY SEEN'}, "
+              f"digests {'match' if digests_ok else 'DIVERGED'}")
+    return _verdict("worker.crash", plan.spec(), ok, detail, run, digests_ok)
+
+
+def _run_task_hang(*, seed, circuits, target, jobs, hang_timeout_s,
+                   retries, baseline, **_) -> ChaosOutcome:
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("task.hang", match=target,
+                  sleep_s=max(4 * hang_timeout_s, 2.0)),))
+    run, _tasks = _batch_scenario(plan, circuits, jobs, hang_timeout_s,
+                                  retries)
+    digests_ok = (run.ok
+                  and all(r.digest == baseline[r.task.label]
+                          for r in run.results))
+    reclaimed = any(e["kind"] == "pool_rebuild" for e in run.events)
+    ok = run.ok and digests_ok and reclaimed
+    detail = (f"hang on {target!r} past timeout {hang_timeout_s}s, "
+              f"{'slot reclaimed' if reclaimed else 'NO POOL REBUILD'}, "
+              f"digests {'match' if digests_ok else 'DIVERGED'}")
+    return _verdict("task.hang", plan.spec(), ok, detail, run, digests_ok)
+
+
+def _run_parse_fail(*, seed, circuits, target, jobs, timeout_s, retries,
+                    baseline, **_) -> ChaosOutcome:
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("parse.fail", match=target),))
+    run, _tasks = _batch_scenario(plan, circuits, jobs, timeout_s, retries)
+    faulted = [r for r in run.results if target in r.task.label]
+    others_ok = _check_digests(run, baseline, target)
+    failed_fast = all(not r.ok and "ParseError" in (r.error or "")
+                      and r.attempts == 1 for r in faulted)
+    ok = bool(faulted) and failed_fast and others_ok
+    shape = ("failed fast with ParseError" if failed_fast
+             else "DID NOT FAIL FAST")
+    detail = (f"{target!r} {shape}, neighbours "
+              f"{'match baseline' if others_ok else 'DIVERGED'}")
+    return _verdict("parse.fail", plan.spec(), ok, detail, run, others_ok)
+
+
+def _run_resource_exhaust(*, seed, circuits, target, jobs, timeout_s,
+                          retries, baseline, **_) -> ChaosOutcome:
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("resource.exhaust", match=target),))
+    run, _tasks = _batch_scenario(plan, circuits, jobs, timeout_s, retries)
+    faulted = [r for r in run.results if target in r.task.label]
+    others_ok = _check_digests(run, baseline, target)
+    structured = all(not r.ok and "ResourceLimitError" in (r.error or "")
+                     for r in faulted)
+    ok = bool(faulted) and structured and others_ok
+    shape = ("reported structured ResourceLimitError" if structured
+             else "WRONG FAILURE SHAPE")
+    detail = (f"{target!r} {shape}, neighbours "
+              f"{'match baseline' if others_ok else 'DIVERGED'}")
+    return _verdict("resource.exhaust", plan.spec(), ok, detail, run,
+                    others_ok)
+
+
+def _run_checkpoint_corrupt(*, seed, target, baseline, **_) -> ChaosOutcome:
+    clean = map_network(load_circuit(target), flow="soi")
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("checkpoint.corrupt", match="plan"),))
+    with tempfile.TemporaryDirectory(prefix="soidomino-chaos-") as tmpdir:
+        previous = install(plan)
+        try:
+            map_network(load_circuit(target), flow="soi",
+                        checkpoint_dir=tmpdir)
+        finally:
+            install(previous)
+        resumed = map_network(load_circuit(target), flow="soi",
+                              checkpoint_dir=tmpdir)
+    digests_ok = resumed.circuit.digest() == clean.circuit.digest()
+    rewound = any(r.status == "ok" for r in resumed.passes)
+    ok = digests_ok and rewound
+    detail = (f"corrupt 'plan' artifact on save; resume "
+              f"{'rewound and re-ran' if rewound else 'DID NOT RE-RUN'}, "
+              f"digest {'matches clean run' if digests_ok else 'DIVERGED'}")
+    return ChaosOutcome(site="checkpoint.corrupt", spec=plan.spec(), ok=ok,
+                        detail=detail, digests_ok=digests_ok)
+
+
+def _run_cache_poison(*, seed, target, baseline, **_) -> ChaosOutcome:
+    from ..pipeline import TreeCache
+
+    clean = map_network(load_circuit(target), flow="soi")
+    cache = TreeCache()
+    # first run populates the cache fault-free...
+    map_network(load_circuit(target), flow="soi", cache=cache)
+    plan = FaultPlan(seed=seed, rules=(FaultRule("cache.poison"),))
+    previous = install(plan)
+    try:
+        # ...the second run's hits are poisoned and must be recomputed
+        poisoned = map_network(load_circuit(target), flow="soi", cache=cache)
+    finally:
+        install(previous)
+    digests_ok = poisoned.circuit.digest() == clean.circuit.digest()
+    evicted = cache.evictions > 0
+    ok = digests_ok and evicted
+    detail = (f"{cache.evictions} poisoned entries evicted"
+              f"{'' if evicted else ' (EXPECTED > 0)'}, "
+              f"digest {'matches uncached run' if digests_ok else 'DIVERGED'}")
+    return ChaosOutcome(site="cache.poison", spec=plan.spec(), ok=ok,
+                        detail=detail, digests_ok=digests_ok)

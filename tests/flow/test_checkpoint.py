@@ -1,11 +1,13 @@
-"""Checkpoint/resume: mid-flow serialization and safe-resume refusals."""
+"""Checkpoint/resume: mid-flow serialization, safe-resume refusals, and
+corrupt-checkpoint recovery."""
 
+import hashlib
 import json
 
 import pytest
 
 from repro.bench_suite import load_circuit
-from repro.errors import FlowError
+from repro.errors import CheckpointCorruptError, FlowError
 from repro.flow import CHECKPOINT_SCHEMA, FlowCheckpoint
 from repro.flow.passes import DischargePass
 from repro.mapping import MapperConfig, flow_passes, map_network
@@ -88,13 +90,81 @@ def test_resume_refuses_different_config(monkeypatch, tmp_path):
                     checkpoint_dir=ckpt_dir)
 
 
-def test_resume_refuses_corrupt_artifact(monkeypatch, tmp_path):
+def test_manifest_records_artifact_checksums(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    manifest = FlowCheckpoint(ckpt_dir).load_manifest()
+    assert set(manifest["checksums"]) == set(manifest["artifacts"])
+    for name, filename in manifest["artifacts"].items():
+        payload = (ckpt_dir / filename).read_bytes()
+        assert hashlib.sha256(payload).hexdigest() == manifest["checksums"][name]
+
+
+def test_resume_recovers_corrupt_artifact(monkeypatch, tmp_path):
+    """A corrupt artifact rewinds to the last verified pass, not a crash.
+
+    Corrupting ``plan`` (owned by dp-map, the last completed pass) must
+    resume after ``unate`` and re-run dp-map onward — and still produce
+    the uninterrupted run's exact digest.
+    """
+    uninterrupted = map_network(load_circuit("cm150"), flow="soi",
+                                config=CONFIG)
     ckpt_dir = _interrupt(monkeypatch, tmp_path)
     manifest = FlowCheckpoint(ckpt_dir).load_manifest()
     (ckpt_dir / manifest["artifacts"]["plan"]).write_bytes(b"not a pickle")
-    with pytest.raises(FlowError, match="cannot load checkpoint artifact"):
+    resumed = map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                          checkpoint_dir=ckpt_dir)
+    assert resumed.circuit.digest() == uninterrupted.circuit.digest()
+    statuses = {r.name: r.status for r in resumed.passes}
+    assert statuses == {"decompose": "resumed", "sweep": "resumed",
+                        "unate": "resumed", "dp-map": "ok",
+                        "discharge": "ok", "analyze": "ok"}
+
+
+def test_resume_recovers_checksum_mismatch(monkeypatch, tmp_path):
+    """Valid pickle bytes that fail the checksum are still corruption."""
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    ckpt = FlowCheckpoint(ckpt_dir)
+    manifest = ckpt.load_manifest()
+    path = ckpt_dir / manifest["artifacts"]["plan"]
+    path.write_bytes((ckpt_dir / manifest["artifacts"]["network"])
+                     .read_bytes())
+    resumed = map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                          checkpoint_dir=ckpt_dir)
+    statuses = {r.name: r.status for r in resumed.passes}
+    assert statuses["dp-map"] == "ok"
+    assert statuses["unate"] == "resumed"
+
+
+def test_corrupt_root_artifact_reruns_everything(monkeypatch, tmp_path):
+    """``network`` has providers on both sides of any non-zero cut, so
+    corrupting it forces a full re-run — which must still succeed."""
+    uninterrupted = map_network(load_circuit("cm150"), flow="soi",
+                                config=CONFIG)
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    manifest = FlowCheckpoint(ckpt_dir).load_manifest()
+    (ckpt_dir / manifest["artifacts"]["network"]).write_bytes(b"\x00" * 16)
+    resumed = map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
+                          checkpoint_dir=ckpt_dir)
+    assert resumed.circuit.digest() == uninterrupted.circuit.digest()
+    assert all(r.status in ("ok", "skipped") for r in resumed.passes)
+
+
+def test_corrupt_manifest_json_raises_corrupt_error(monkeypatch, tmp_path):
+    ckpt_dir = _interrupt(monkeypatch, tmp_path)
+    FlowCheckpoint(ckpt_dir).manifest_path.write_text("{not json",
+                                                      encoding="utf-8")
+    with pytest.raises(CheckpointCorruptError, match="not valid\\s+JSON"):
         map_network(load_circuit("cm150"), flow="soi", config=CONFIG,
                     checkpoint_dir=ckpt_dir)
+
+
+def test_checkpoint_save_leaves_no_temp_files(tmp_path):
+    ckpt_dir = tmp_path / "ckpt"
+    map_network(load_circuit("mux"), flow="soi", config=CONFIG,
+                checkpoint_dir=ckpt_dir)
+    leftovers = [p.name for p in ckpt_dir.iterdir()
+                 if p.suffix == ".tmp"]
+    assert leftovers == []
 
 
 def test_resume_refuses_wrong_schema(monkeypatch, tmp_path):

@@ -1,0 +1,13 @@
+"""Shared fixtures: every resilience test leaves no plan installed."""
+
+import pytest
+
+from repro.resilience import active_plan, install
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    previous = active_plan()
+    install(None)
+    yield
+    install(previous)

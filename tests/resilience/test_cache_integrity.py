@@ -1,0 +1,75 @@
+"""TreeCache entry integrity: poisoned templates are evicted, not used."""
+
+from repro.bench_suite import load_circuit
+from repro.mapping import map_network
+from repro.pipeline import TreeCache
+from repro.resilience import FaultPlan, FaultRule, install, uninstall
+
+CIRCUIT = "mux"
+
+
+def _map(cache=None):
+    return map_network(load_circuit(CIRCUIT), flow="soi", cache=cache)
+
+
+def test_direct_poisoning_is_detected_and_evicted():
+    """Mutate a stored template behind the cache's back (the real bug
+    this defends against): the next fetch must evict and recompute."""
+    clean = _map()
+    cache = TreeCache()
+    _map(cache)
+    assert cache.stores > 0
+    for template in cache._entries.values():
+        template[0][1][0].wcost += 100.0      # corrupt every entry
+    poisoned = _map(cache)
+    assert poisoned.circuit.digest() == clean.circuit.digest()
+    assert cache.evictions > 0
+    # the recompute re-stored clean entries: a further run hits cleanly
+    evictions_after = cache.evictions
+    again = _map(cache)
+    assert again.circuit.digest() == clean.circuit.digest()
+    assert cache.evictions == evictions_after
+
+
+def test_fault_point_poisoning_recovers_bit_identically():
+    clean = _map()
+    cache = TreeCache()
+    _map(cache)
+    install(FaultPlan(rules=(FaultRule("cache.poison"),)))
+    try:
+        poisoned = _map(cache)
+    finally:
+        uninstall()
+    assert poisoned.circuit.digest() == clean.circuit.digest()
+    assert cache.evictions > 0
+
+
+def test_eviction_is_a_miss_not_a_crash():
+    cache = TreeCache()
+    _map(cache)
+    hits_before = cache.hits
+    install(FaultPlan(rules=(FaultRule("cache.poison"),)))
+    try:
+        _map(cache)
+    finally:
+        uninstall()
+    # every would-be hit was poisoned away: misses, zero new hits
+    assert cache.hits == hits_before
+    assert cache.stats()["evictions"] == cache.evictions
+
+
+def test_unpoisoned_entries_keep_hitting():
+    cache = TreeCache()
+    _map(cache)
+    _map(cache)
+    assert cache.hits > 0
+    assert cache.evictions == 0
+
+
+def test_clear_resets_integrity_state():
+    cache = TreeCache()
+    _map(cache)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache._fingerprints == {}
+    assert cache.evictions == 0

@@ -1,0 +1,64 @@
+"""The checkpoint.corrupt fault point end-to-end: save-time corruption
+is detected by the resume's checksum verification and rewound."""
+
+from repro.bench_suite import load_circuit
+from repro.flow import FlowCheckpoint
+from repro.mapping import map_network
+from repro.resilience import FaultPlan, FaultRule, install, uninstall
+
+CIRCUIT = "cm150"
+
+
+def _checkpointed_run(tmp_path, plan=None):
+    previous = install(plan) if plan is not None else None
+    try:
+        return map_network(load_circuit(CIRCUIT), flow="soi",
+                           checkpoint_dir=tmp_path / "ckpt")
+    finally:
+        if plan is not None:
+            install(previous)
+
+
+def test_injected_corruption_damages_bytes_after_checksum(tmp_path):
+    plan = FaultPlan(rules=(FaultRule("checkpoint.corrupt",
+                                      match="plan"),))
+    _checkpointed_run(tmp_path, plan)
+    ckpt = FlowCheckpoint(tmp_path / "ckpt")
+    manifest = ckpt.load_manifest()
+    # the fault's signature: manifest checksum present, bytes disagree
+    assert ckpt._load_verified(manifest, "plan") is None
+    assert ckpt._load_verified(manifest, "network") is not None
+
+
+def test_resume_after_injected_corruption_recovers_digest(tmp_path):
+    clean = map_network(load_circuit(CIRCUIT), flow="soi")
+    plan = FaultPlan(rules=(FaultRule("checkpoint.corrupt",
+                                      match="plan"),))
+    _checkpointed_run(tmp_path, plan)
+    resumed = _checkpointed_run(tmp_path)       # no faults this time
+    assert resumed.circuit.digest() == clean.circuit.digest()
+    statuses = {r.name: r.status for r in resumed.passes}
+    assert statuses["dp-map"] == "ok"           # re-ran past the rewind
+    assert statuses["unate"] == "resumed"
+
+
+def test_recovery_emits_rewind_metrics(tmp_path):
+    plan = FaultPlan(rules=(FaultRule("checkpoint.corrupt",
+                                      match="plan"),))
+    _checkpointed_run(tmp_path, plan)
+    resumed = _checkpointed_run(tmp_path)
+    named = resumed.metrics.as_dict()
+    assert named["repro_resilience_recoveries_total"]["value"] >= 1
+    key = "repro_resilience_recovery_checkpoint_rewind_total"
+    assert named[key]["value"] >= 1
+    lane = [s for s in resumed.trace.walk() if s.category == "recovery"]
+    assert any(s.name == "recovery:checkpoint_rewind" for s in lane)
+
+
+def test_corrupting_everything_still_converges(tmp_path):
+    clean = map_network(load_circuit(CIRCUIT), flow="soi")
+    plan = FaultPlan(rules=(FaultRule("checkpoint.corrupt",
+                                      max_attempt=None),))
+    _checkpointed_run(tmp_path, plan)           # every artifact corrupt
+    resumed = _checkpointed_run(tmp_path)       # full re-run from scratch
+    assert resumed.circuit.digest() == clean.circuit.digest()

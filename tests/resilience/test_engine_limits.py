@@ -1,0 +1,60 @@
+"""Engine resource guards: ceilings degrade into structured errors."""
+
+import pytest
+
+from repro.bench_suite import load_circuit
+from repro.errors import MappingError, ReproError, ResourceLimitError
+from repro.mapping import MapperConfig, map_network
+from repro.resilience import FaultPlan, FaultRule, install, uninstall
+
+
+def test_max_nodes_ceiling_raises_with_partial_stats():
+    with pytest.raises(ResourceLimitError) as info:
+        map_network(load_circuit("cm150"), flow="soi",
+                    config=MapperConfig(max_nodes=3))
+    err = info.value
+    assert err.limit == "max_nodes"
+    assert err.stats is not None
+    assert err.stats.nodes_processed == 3      # the partial run's truth
+    assert err.stats.tuples_created > 0
+
+
+def test_max_tuples_ceiling_raises_with_partial_stats():
+    with pytest.raises(ResourceLimitError) as info:
+        map_network(load_circuit("cm150"), flow="soi",
+                    config=MapperConfig(max_tuples=50))
+    err = info.value
+    assert err.limit == "max_tuples"
+    assert err.stats is not None and err.stats.tuples_created > 50
+
+
+def test_resource_limit_error_is_a_mapping_error():
+    assert issubclass(ResourceLimitError, MappingError)
+    assert issubclass(ResourceLimitError, ReproError)
+    assert not ResourceLimitError("x").retryable
+
+
+def test_generous_limits_change_nothing():
+    unlimited = map_network(load_circuit("mux"), flow="soi")
+    limited = map_network(load_circuit("mux"), flow="soi",
+                          config=MapperConfig(max_nodes=10**9,
+                                              max_tuples=10**9))
+    assert limited.circuit.digest() == unlimited.circuit.digest()
+
+
+def test_limit_validation():
+    with pytest.raises(MappingError, match="max_nodes"):
+        MapperConfig(max_nodes=0)
+    with pytest.raises(MappingError, match="max_tuples"):
+        MapperConfig(max_tuples=-1)
+
+
+def test_injected_exhaustion_mimics_a_real_ceiling():
+    install(FaultPlan(rules=(FaultRule("resource.exhaust"),)))
+    try:
+        with pytest.raises(ResourceLimitError) as info:
+            map_network(load_circuit("mux"), flow="soi")
+    finally:
+        uninstall()
+    assert info.value.limit == "injected"
+    assert info.value.stats is not None

@@ -1,0 +1,252 @@
+"""Hardened batch paths: retries, classification, reclamation, deadline.
+
+Every test injects its failure through the fault registry (never by
+monkeypatching runner internals), so what is asserted is exactly what
+``soidomino chaos`` and a production ``REPRO_FAULTS`` run would see.
+"""
+
+import pytest
+
+from repro.errors import BatchDeadlineError, WorkerCrashError, is_retryable
+from repro.pipeline import BatchRunner
+from repro.resilience import FaultPlan, FaultRule, install, uninstall
+
+
+def _tasks(*circuits):
+    return BatchRunner.sweep_tasks(circuits=list(circuits))
+
+
+def _plan(*rules, seed=0):
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+BASELINE = {
+    r.task.label: r.digest
+    for r in BatchRunner(max_workers=1).run(_tasks("mux", "cm150")).results}
+
+
+# ---------------------------------------------------------------------------
+# retryable infrastructure failures recover
+# ---------------------------------------------------------------------------
+def test_worker_crash_is_retried_to_success():
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("worker.crash",
+                                                    match="mux")))
+    report = runner.run(_tasks("mux", "cm150"))
+    assert report.ok
+    by_label = {r.task.label: r for r in report.results}
+    assert by_label["mux/soi/area"].attempts == 2
+    assert by_label["cm150/soi/area"].attempts == 1
+    assert any(e["kind"] == "retry" for e in report.events)
+    # recovered tasks still reproduce the fault-free digests exactly
+    assert {lbl: r.digest for lbl, r in by_label.items()} == BASELINE
+
+
+def test_hard_worker_crash_breaks_pool_and_recovers():
+    """``os._exit`` in the worker: the BrokenExecutor path must rebuild
+    the pool, resubmit the innocent inflight tasks without charging
+    them an attempt, and retry the victim."""
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("worker.crash",
+                                                    match="mux",
+                                                    hard=True)))
+    report = runner.run(_tasks("mux", "cm150"))
+    assert report.ok
+    assert any(e["kind"] == "pool_rebuild" for e in report.events)
+    assert {r.task.label: r.digest for r in report.results} == BASELINE
+
+
+def test_task_hang_slot_is_reclaimed_not_leaked():
+    """A hung task's future cannot be cancelled; the runner must rebuild
+    the pool so the retry gets real capacity, then succeed."""
+    runner = BatchRunner(max_workers=2, timeout_s=0.4, retries=1,
+                         backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("task.hang",
+                                                    match="mux",
+                                                    sleep_s=5.0)))
+    report = runner.run(_tasks("mux", "cm150"))
+    assert report.ok
+    assert any(e["kind"] == "pool_rebuild" for e in report.events)
+    assert {r.task.label: r.digest for r in report.results} == BASELINE
+
+
+def test_exhausted_retries_degrade_to_serial_fallback():
+    """Crash on every pool attempt: after ``retries`` resubmissions the
+    task falls back in-process, where the (attempt-windowed) fault no
+    longer fires — and ``attempts`` still counts only pool submissions."""
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("worker.crash",
+                                                    match="mux",
+                                                    max_attempt=2)))
+    report = runner.run(_tasks("mux", "cm150"))
+    assert report.ok
+    mux = next(r for r in report.results if "mux" in r.task.label)
+    assert mux.mode == "serial-fallback"
+    assert mux.attempts == 2      # two pool submissions, fallback uncounted
+    assert mux.digest == BASELINE["mux/soi/area"]
+    assert any(e["kind"] == "serial_fallback" for e in report.events)
+
+
+def test_unrecoverable_crash_fails_with_structured_error():
+    """A crash firing on every attempt (pool and fallback) must end as
+    an error result, never an unhandled exception."""
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("worker.crash",
+                                                    match="mux",
+                                                    max_attempt=None)))
+    report = runner.run(_tasks("mux", "cm150"))
+    assert not report.ok
+    mux = next(r for r in report.results if "mux" in r.task.label)
+    assert not mux.ok and "WorkerCrashError" in mux.error
+    cm150 = next(r for r in report.results if "cm150" in r.task.label)
+    assert cm150.ok and cm150.digest == BASELINE["cm150/soi/area"]
+
+
+# ---------------------------------------------------------------------------
+# non-retryable failures fail fast
+# ---------------------------------------------------------------------------
+def test_parse_failure_fails_fast_without_retries():
+    runner = BatchRunner(max_workers=2, retries=3, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("parse.fail",
+                                                    match="mux",
+                                                    max_attempt=None)))
+    report = runner.run(_tasks("mux", "cm150"))
+    assert not report.ok
+    mux = next(r for r in report.results if "mux" in r.task.label)
+    assert "ParseError" in mux.error
+    assert mux.attempts == 1      # deterministic failure: never resubmitted
+    assert not any(e["kind"] == "retry" for e in report.events)
+
+
+def test_resource_exhaustion_is_a_structured_per_task_failure():
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("resource.exhaust",
+                                                    match="mux",
+                                                    max_attempt=None)))
+    report = runner.run(_tasks("mux", "cm150"))
+    mux = next(r for r in report.results if "mux" in r.task.label)
+    assert not mux.ok and "ResourceLimitError" in mux.error
+    assert mux.attempts == 1
+    cm150 = next(r for r in report.results if "cm150" in r.task.label)
+    assert cm150.ok and cm150.digest == BASELINE["cm150/soi/area"]
+
+
+def test_retryable_classification():
+    assert is_retryable(WorkerCrashError("x"))
+    assert is_retryable(OSError("pipe"))
+    assert is_retryable(MemoryError())
+    assert is_retryable(TimeoutError())
+    assert not is_retryable(BatchDeadlineError("x"))
+    assert not is_retryable(ValueError("x"))
+    assert not is_retryable(TypeError("x"))
+
+
+# ---------------------------------------------------------------------------
+# deadline budget
+# ---------------------------------------------------------------------------
+def test_deadline_validation():
+    with pytest.raises(ValueError, match="deadline_s"):
+        BatchRunner(deadline_s=0)
+
+
+def test_serial_deadline_reports_unrun_tasks():
+    runner = BatchRunner(max_workers=1, deadline_s=1e-9)
+    report = runner.run(_tasks("mux", "cm150"))
+    assert not report.ok
+    for r in report.results:
+        assert r.mode == "deadline"
+        assert "BatchDeadlineError" in r.error
+    assert sum(1 for e in report.events
+               if e["kind"] == "deadline_abandon") == 2
+
+
+def test_pool_deadline_reports_unrun_tasks():
+    runner = BatchRunner(max_workers=2, deadline_s=1e-9)
+    report = runner.run(_tasks("mux", "cm150"))
+    assert not report.ok
+    assert all("BatchDeadlineError" in r.error for r in report.results)
+
+
+def test_generous_deadline_changes_nothing():
+    report = BatchRunner(max_workers=1, deadline_s=600.0).run(
+        _tasks("mux", "cm150"))
+    assert report.ok
+    assert {r.task.label: r.digest for r in report.results} == BASELINE
+
+
+# ---------------------------------------------------------------------------
+# determinism and observability of the recovery surface
+# ---------------------------------------------------------------------------
+def test_pool_and_serial_inject_identical_faults():
+    """The acceptance criterion behind hash-based decisions: the same
+    plan faults the same tasks whether the batch runs pooled or serial."""
+    rule = FaultRule("parse.fail", p=0.5, max_attempt=None)
+    pooled = BatchRunner(max_workers=2, retries=0,
+                         fault_plan=_plan(rule, seed=11)).run(
+        _tasks("mux", "cm150"))
+    serial = BatchRunner(max_workers=1,
+                         fault_plan=_plan(rule, seed=11)).run(
+        _tasks("mux", "cm150"))
+    assert ([r.ok for r in pooled.results]
+            == [r.ok for r in serial.results])
+    assert ([r.digest for r in pooled.results]
+            == [r.digest for r in serial.results])
+
+
+def test_runner_metrics_count_recoveries():
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("worker.crash",
+                                                    match="mux")))
+    report = runner.run(_tasks("mux", "cm150"))
+    named = report.total_metrics().as_dict()
+    assert named["repro_resilience_recoveries_total"]["value"] >= 1
+    assert named["repro_resilience_recovery_retry_total"]["value"] >= 1
+
+
+def test_fault_counters_ride_the_task_registry():
+    """A fault whose task still reports a result (here: a fail-fast
+    parse error) surfaces its worker-side fault counters in the merged
+    registry.  (A crashed attempt's registry dies with the attempt —
+    its recovery is counted runner-side instead.)"""
+    runner = BatchRunner(max_workers=1,
+                         fault_plan=FaultPlan(rules=(
+                             FaultRule("parse.fail", match="mux"),)))
+    report = runner.run(_tasks("mux", "cm150"))
+    named = report.total_metrics().as_dict()
+    assert named["repro_resilience_faults_total"]["value"] == 1
+    assert named["repro_resilience_fault_parse_fail_total"]["value"] == 1
+
+
+def test_build_trace_carries_a_resilience_lane():
+    runner = BatchRunner(max_workers=2, retries=1, backoff_base_s=0.0,
+                         fault_plan=_plan(FaultRule("worker.crash",
+                                                    match="mux")))
+    report = runner.run(_tasks("mux", "cm150"))
+    root = report.build_trace()
+    lane = root.find("resilience")
+    assert lane is not None
+    assert lane.children                       # one marker per decision
+    assert all(c.category == "recovery" for c in lane.children)
+
+
+def test_backoff_schedule_is_deterministic_and_capped():
+    runner = BatchRunner(backoff_base_s=0.1, backoff_cap_s=0.5)
+    delays = [runner._backoff_s("mux/soi/area", n, seed=0)
+              for n in range(1, 8)]
+    assert delays == [runner._backoff_s("mux/soi/area", n, seed=0)
+                      for n in range(1, 8)]
+    assert all(d <= 0.5 * 1.5 for d in delays)
+    assert delays[1] != runner._backoff_s("cm150/soi/area", 2, seed=0)
+
+
+def test_ambient_plan_reaches_pool_workers():
+    """With no explicit fault_plan, an installed ambient plan is
+    forwarded to workers (the REPRO_FAULTS path the CLI uses)."""
+    install(_plan(FaultRule("parse.fail", match="mux", max_attempt=None)))
+    try:
+        report = BatchRunner(max_workers=2, retries=0).run(
+            _tasks("mux", "cm150"))
+    finally:
+        uninstall()
+    mux = next(r for r in report.results if "mux" in r.task.label)
+    assert not mux.ok and "ParseError" in mux.error
