@@ -108,7 +108,7 @@ from .resilience import (
     plan_from_spec,
 )
 
-__version__ = "1.1.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "BatchDeadlineError",

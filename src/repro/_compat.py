@@ -34,19 +34,12 @@ class Shim:
 
 #: Every deprecation shim left in the package.  Each entry corresponds
 #: to exactly one ``deprecated(...)`` call site; retiring a shim means
-#: deleting both the call site and its row here.
-SHIMS: Tuple[Shim, ...] = (
-    Shim(name="map_network(network, cost_model)  # positional model",
-         replacement="map_network(network, cost_model=...)",
-         remove_in="0.5"),
-    Shim(name="soi_domino_map(ordering=|ground_policy=|pareto=|"
-              "duplication=...)",
-         replacement="soi_domino_map(config=MapperConfig(...))",
-         remove_in="0.5"),
-    Shim(name="MappingResult.tuples_created",
-         replacement="MappingResult.stats.tuples_created",
-         remove_in="0.5"),
-)
+#: deleting both the call site and its row here.  Empty since 0.5: the
+#: three shims scheduled for that release — the positional-CostModel
+#: ``map_network`` call form, the loose ``soi_domino_map`` keyword
+#: switches, and the ``MappingResult.tuples_created`` alias — were all
+#: removed on schedule.
+SHIMS: Tuple[Shim, ...] = ()
 
 
 def deprecated(message: str, *, remove_in: Optional[str] = None,

@@ -41,6 +41,7 @@ from .bench_suite import circuit_names, get_spec, load_circuit
 from .errors import ReproError
 from .io import circuit_netlist, circuit_to_dot, load_bench, load_blif, load_pla
 from .mapping import FLOW_PRESETS, ClockWeightedCost, DepthCost, map_network
+from .mapping.kernel import KERNELS
 from .network import LogicNetwork, network_stats
 from .pbe import random_stress
 from .resilience import FAULT_POINTS, install_from_env
@@ -80,8 +81,12 @@ def _export_trace(spans, path: str, *, quiet: bool = False) -> None:
 
 
 def _cmd_map(args) -> int:
+    from .mapping import MapperConfig
+
     network = _load_network(args.circuit)
     model = _cost_model(args.cost, args.k)
+    config = MapperConfig(w_max=args.w_max, h_max=args.h_max,
+                          kernel=args.kernel)
     profiler = None
     if args.profile:
         import cProfile
@@ -89,8 +94,7 @@ def _cmd_map(args) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     result = map_network(network, flow=args.algorithm, cost_model=model,
-                         w_max=args.w_max, h_max=args.h_max,
-                         checkpoint_dir=args.checkpoint)
+                         config=config, checkpoint_dir=args.checkpoint)
     if profiler is not None:
         profiler.disable()
     if args.trace:
@@ -119,6 +123,7 @@ def _cmd_map(args) -> int:
               f"(x{rep.duplication_ratio:.2f} duplication, "
               f"{rep.negated_pis} complemented inputs)")
     print(f"algorithm: {args.algorithm} ({args.cost} cost)")
+    print(f"kernel:    {args.kernel} (active: {result.mapping.kernel})")
     print(f"mapped:    {cost}")
     print(f"stats:     {result.stats.summary()} "
           f"elapsed={result.elapsed_s:.3f}s")
@@ -141,6 +146,7 @@ def _cmd_map(args) -> int:
 
 def _cmd_batch(args) -> int:
     from .evaluation.formats import render_table
+    from .mapping import MapperConfig
     from .pipeline import BatchRunner
 
     flows = args.algorithm or ["soi"]
@@ -148,7 +154,8 @@ def _cmd_batch(args) -> int:
                          retries=args.retries, use_cache=not args.no_cache)
     tasks = BatchRunner.sweep_tasks(
         circuits=args.circuits or None, flows=flows,
-        cost_models=[_cost_model(args.cost, args.k)])
+        cost_models=[_cost_model(args.cost, args.k)],
+        config=MapperConfig(kernel=args.kernel))
     report = runner.run_serial(tasks) if args.serial else runner.run(tasks)
 
     if args.trace:
@@ -162,13 +169,13 @@ def _cmd_batch(args) -> int:
                          indent=1))
         return 0 if report.ok else 1
 
-    headers = ["circuit", "flow", "T_total", "T_disch", "#G", "L",
+    headers = ["circuit", "flow", "kernel", "T_total", "T_disch", "#G", "L",
                "tuples", "pruned", "combines", "cache", "time_s"]
     rows = []
     for r in report.results:
         if r.ok:
             s = r.stats
-            rows.append([r.task.circuit, r.task.flow,
+            rows.append([r.task.circuit, r.task.flow, r.kernel,
                          r.cost.t_total, r.cost.t_disch,
                          r.cost.num_gates, r.cost.levels,
                          s.tuples_created, s.tuples_pruned, s.combine_calls,
@@ -176,7 +183,7 @@ def _cmd_batch(args) -> int:
                          f"{r.elapsed_s:.3f}"])
         else:
             rows.append([r.task.circuit, r.task.flow, "-", "-", "-", "-",
-                         "-", "-", "-", "-", f"{r.elapsed_s:.3f}"])
+                         "-", "-", "-", "-", "-", f"{r.elapsed_s:.3f}"])
     title = (f"batch: {len(report.results)} tasks, mode={report.mode}, "
              f"{args.cost} cost")
     print(render_table(headers, rows, title=title))
@@ -220,6 +227,9 @@ def _cmd_bench(args) -> int:
                         flows=args.algorithm or ["soi"],
                         orderings=args.orderings,
                         modes=args.modes,
+                        kernels=args.kernels,
+                        w_max=args.w_max,
+                        h_max=args.h_max,
                         jobs=args.jobs,
                         use_cache=args.cache,
                         repeat=args.repeat,
@@ -235,12 +245,14 @@ def _cmd_bench(args) -> int:
             return 2
         attach_baseline(payload, baseline)
 
-    headers = ["circuit", "flow", "ordering", "mode", "time_s",
-               "tuples", "ktuples/s", "combines", "digest"]
+    headers = ["circuit", "flow", "ordering", "mode", "kernel", "time_s",
+               "combine_s", "tuples", "ktuples/s", "combines", "digest"]
     rows = []
     for r in payload["results"]:
         rows.append([r["circuit"], r["flow"], r["ordering"], r["table_mode"],
+                     r["kernel"],
                      f"{r['elapsed_s']:.3f}" if r["ok"] else "-",
+                     f"{r['combine_s']:.3f}" if r["ok"] else "-",
                      r["tuples"], f"{r['tuples_per_s'] / 1e3:.0f}",
                      r["combines"],
                      (r["digest"] or "-")[:12]])
@@ -254,6 +266,18 @@ def _cmd_bench(args) -> int:
           f"({aggregate['tuples_per_s'] / 1e3:.0f}k tuples/s) "
           f"tuple_heavy={aggregate['tuple_heavy_task_time_s']:.2f}s "
           f"failures={aggregate['failures']}")
+    kernels = payload.get("kernels", {})
+    parity = kernels.get("parity", {})
+    if parity.get("configs_checked"):
+        verdict = ("IDENTICAL" if not parity["mismatches"]
+                   else f"{len(parity['mismatches'])} MISMATCHES")
+        speedups = ", ".join(
+            f"{name}={ratio:.2f}x" if ratio else f"{name}=n/a"
+            for name, ratio in sorted(
+                kernels.get("tuple_heavy_throughput_speedup", {}).items()))
+        print(f"kernels:   digests {verdict} across "
+              f"{parity['configs_checked']} configs; tuple-heavy "
+              f"throughput vs reference: {speedups or 'n/a'}")
     if "baseline" in payload:
         base = payload["baseline"]
 
@@ -390,6 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clock-transistor weight for --cost clock")
     p_map.add_argument("--w-max", type=int, default=5)
     p_map.add_argument("--h-max", type=int, default=8)
+    p_map.add_argument("--kernel", choices=list(KERNELS), default="auto",
+                       help="DP combine kernel: reference (scalar oracle), "
+                            "soa (numpy, bit-identical), auto (hybrid)")
     p_map.add_argument("--netlist", action="store_true",
                        help="print the SPICE-style transistor netlist")
     p_map.add_argument("--dot", action="store_true",
@@ -428,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-task timeout in seconds (pool mode)")
     p_batch.add_argument("--retries", type=int, default=1,
                          help="retries per task on worker failure")
+    p_batch.add_argument("--kernel", choices=list(KERNELS), default="auto",
+                         help="DP combine kernel for every task")
     p_batch.add_argument("--no-cache", action="store_true",
                          help="disable the tree-level memoization cache")
     p_batch.add_argument("--serial", action="store_true",
@@ -454,6 +483,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--modes", nargs="+", choices=["single", "pareto"],
                          default=["single", "pareto"],
                          help="tuple-table modes to sweep")
+    p_bench.add_argument("--kernels", nargs="+", choices=list(KERNELS),
+                         default=["reference", "soa"],
+                         help="DP kernels to sweep; running both makes "
+                              "every bench a cross-kernel bit-identity "
+                              "check with per-kernel throughput")
+    p_bench.add_argument("--w-max", type=int, default=None,
+                         help="pulldown width limit (default: paper's 5); "
+                              "larger limits grow candidate batches")
+    p_bench.add_argument("--h-max", type=int, default=None,
+                         help="pulldown height limit (default: paper's 8)")
     p_bench.add_argument("-j", "--jobs", type=int, default=1,
                          help="worker processes (default 1: serial, the "
                               "stable-timing mode)")

@@ -33,10 +33,9 @@ Discharge transistors:
 from __future__ import annotations
 
 import time
-from dataclasses import astuple, dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
-from .._compat import deprecated
 from ..domino.circuit import CircuitCost, DominoCircuit
 from ..domino.gate import DominoGate
 from ..domino.rearrange import rearrange
@@ -46,6 +45,7 @@ from ..network import LogicNetwork, NodeType
 from ..pipeline.metrics import MappingStats
 from ..resilience.faults import fire
 from .cost import CostModel
+from .kernel import KERNELS, metric_fast_path, resolve_kernel
 from .tuples import MapTuple, TupleTable
 
 #: How combine_and orders its operands.
@@ -94,6 +94,17 @@ class MapperConfig:
         the partial :class:`~repro.pipeline.MappingStats` — so a
         pathological input degrades into a reportable per-task failure
         instead of unbounded memory growth taking the whole batch down.
+    kernel:
+        Which DP combine kernel runs the inner loop: ``"reference"`` —
+        the scalar Python oracle; ``"soa"`` — the structure-of-arrays
+        numpy kernel (bit-identical tables, requires numpy); ``"auto"``
+        (the default) — a hybrid routing each combine call by operand
+        size, soa when numpy is importable and the batch is large
+        enough to amortize the array overhead.  Excluded from
+        :meth:`fingerprint` because the kernel is execution strategy,
+        not mapping semantics: all kernels produce bit-identical
+        tables, so cached/checkpointed artifacts are shared across
+        them.
     duplication:
         Fanout handling.  ``True`` (the paper's regime, following [23]):
         every consumer of a multi-fanout node sees the node's full tuple
@@ -114,8 +125,13 @@ class MapperConfig:
     duplication: bool = True
     max_nodes: Optional[int] = None
     max_tuples: Optional[int] = None
+    kernel: str = "auto"
 
     def __post_init__(self):
+        if self.kernel not in KERNELS:
+            raise MappingError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {', '.join(KERNELS)}")
         if self.max_nodes is not None and self.max_nodes < 1:
             raise MappingError(f"max_nodes must be >= 1, got {self.max_nodes}")
         if self.max_tuples is not None and self.max_tuples < 1:
@@ -134,8 +150,14 @@ class MapperConfig:
                 f"expected one of {', '.join(GROUND_POLICIES)}")
 
     def fingerprint(self) -> tuple:
-        """Hashable identity of every field (tree-cache key component)."""
-        return astuple(self)
+        """Hashable identity of every *semantic* field (tree-cache key).
+
+        ``kernel`` is excluded: every kernel produces bit-identical
+        tables, so cache entries and checkpoints written under one
+        kernel are valid — and shared — under any other.
+        """
+        return tuple(getattr(self, f.name) for f in fields(self)
+                     if f.name != "kernel")
 
 
 @dataclass
@@ -193,6 +215,8 @@ class MappingPlan:
     #: mapping-node id -> GateRecord for every selected gate
     gate_records: Dict[int, GateRecord] = field(default_factory=dict)
     stats: MappingStats = field(default_factory=MappingStats)
+    #: what actually ran the DP ("reference", "soa", or "hybrid")
+    kernel: str = "reference"
 
 
 @dataclass
@@ -206,19 +230,12 @@ class MappingResult:
     gate_records: Dict[int, GateRecord] = field(default_factory=dict)
     #: full instrumentation counters for this run
     stats: MappingStats = field(default_factory=MappingStats)
+    #: what actually ran the DP ("reference", "soa", or "hybrid")
+    kernel: str = "reference"
 
     @property
     def cost(self) -> CircuitCost:
         return self.circuit.cost()
-
-    @property
-    def tuples_created(self) -> int:
-        """Deprecated alias for ``stats.tuples_created``."""
-        deprecated(
-            "MappingResult.tuples_created is deprecated; read "
-            "result.stats.tuples_created instead", remove_in="0.5",
-            stacklevel=2)
-        return self.stats.tuples_created
 
 
 class MappingEngine:
@@ -296,9 +313,9 @@ class MappingEngine:
         # when tuple_key is the base-class delegation to
         # tuple_key_metrics; a model overriding tuple_key directly falls
         # back to the allocate-then-insert path.
-        self._metric_key = (
-            cost_model.tuple_key_metrics
-            if type(cost_model).tuple_key is CostModel.tuple_key else None)
+        self._metric_key = metric_fast_path(cost_model)
+        #: the DP combine kernel this run executes (KernelProtocol)
+        self.kernel = resolve_kernel(self)
 
     # ------------------------------------------------------------------
     # leaf tuples
@@ -343,297 +360,15 @@ class MappingEngine:
     # ------------------------------------------------------------------
     # combination
     # ------------------------------------------------------------------
-    # _combine_into is the DP kernel and is deliberately written flat:
-    # configuration, cost prices, and the table's slot map are bound to
-    # locals once per node, the fanin view is pre-filtered per {W,H}
-    # budget so the inner loop touches only feasible pairs, and a
-    # candidate's scalar metrics are priced and bound-checked against the
-    # slot incumbent *before* any MapTuple is allocated.  Survivors are
-    # allocated lazily: a provenance back-pointer (op/left/right) instead
-    # of a built structure tree.
-    #
-    # Bit-identity with the eager kernel is load-bearing and rests on
-    # three invariants: (1) feasible pairs are visited in exactly the
-    # original view order (the pre-filtered lists preserve relative
-    # order), (2) the keep/evict decisions are literal transcriptions of
-    # TupleTable.insert, and (3) a slot list is only created when its
-    # first candidate is kept, so slot insertion order — which the tree
-    # cache serializes — is unchanged.
-
     def _combine_into(self, table: TupleTable, is_or: bool,
                       view_a: List[MapTuple], view_b: List[MapTuple]) -> None:
-        config = self.config
-        w_max = config.w_max
-        h_max = config.h_max
-        pbe = config.pbe_aware
-        pareto = config.pareto
-        ordering = config.ordering
-        adverse = ordering == "adverse" or (not pbe and ordering != "naive")
-        naive = not adverse and (not pbe or ordering == "naive")
-        exhaustive = not adverse and not naive and ordering == "exhaustive"
-        metric = self._metric_key
-        key_fn = table.key_fn
-        discharge = self.model.discharge_cost()
-        slots = table.raw_slots()
-        slots_get = slots.get
-        max_front = table.max_front
-        created = 0
-        pruned = 0
-        skips = 0
-        if is_or:
-            # Parallel composition: W adds, so b must fit the remaining
-            # width budget (heights are both within h_max already).
-            by_budget = [[b for b in view_b if b.width <= budget]
-                         for budget in range(w_max)]
-            for a in view_a:
-                budget = w_max - a.width
-                if budget < 1:
-                    continue
-                a_w = a.width
-                a_h = a.height
-                a_wc = a.wcost
-                a_tr = a.trans
-                a_di = a.disch
-                a_lv = a.levels
-                a_pd = a.p_dis
-                a_hp = a.has_pi
-                for b in by_budget[budget]:
-                    created += 1
-                    width = a_w + b.width
-                    b_h = b.height
-                    height = b_h if b_h > a_h else a_h
-                    wcost = a_wc + b.wcost
-                    b_lv = b.levels
-                    levels = b_lv if b_lv > a_lv else a_lv
-                    # Inside a parallel stack every potential point rides
-                    # on the stack's shared bottom node: all of them are
-                    # "tail" points (p_tail == p_dis, par_b True).
-                    p_dis = (a_pd + b.p_dis) if pbe else 0
-                    if metric is not None:
-                        key = metric(wcost, levels)
-                        cand = None
-                    else:
-                        cand = MapTuple(width, height, wcost, a_tr + b.trans,
-                                        a_di + b.disch, levels, p_dis, True,
-                                        a_hp or b.has_pi, p_tail=p_dis,
-                                        ends_par=True, op="par",
-                                        left=a, right=b)
-                        key = key_fn(cand)
-                    slot = slots_get((width, height))
-                    if slot is None:
-                        if cand is None:
-                            cand = MapTuple(width, height, wcost,
-                                            a_tr + b.trans, a_di + b.disch,
-                                            levels, p_dis, True,
-                                            a_hp or b.has_pi, p_tail=p_dis,
-                                            ends_par=True, op="par",
-                                            left=a, right=b)
-                        slots[(width, height)] = [(key, cand)]
-                        continue
-                    if not pareto:
-                        inc_key, inc = slot[0]
-                        if key < inc_key or (key == inc_key
-                                             and p_dis < inc.p_dis):
-                            if cand is None:
-                                cand = MapTuple(width, height, wcost,
-                                                a_tr + b.trans,
-                                                a_di + b.disch,
-                                                levels, p_dis, True,
-                                                a_hp or b.has_pi,
-                                                p_tail=p_dis, ends_par=True,
-                                                op="par", left=a, right=b)
-                            slot[0] = (key, cand)
-                        else:
-                            pruned += 1
-                            if cand is None:
-                                skips += 1
-                        continue
-                    # Pareto front; the candidate has par_b True and
-                    # p_tail == p_dis, which simplifies both dominance
-                    # directions of TupleTable.insert.
-                    dominated = False
-                    for kept_key, kept in slot:
-                        if (kept_key <= key and kept.p_dis <= p_dis
-                                and kept.p_tail <= p_dis):
-                            dominated = True
-                            break
-                    if dominated:
-                        pruned += 1
-                        if cand is None:
-                            skips += 1
-                        continue
-                    if cand is None:
-                        cand = MapTuple(width, height, wcost, a_tr + b.trans,
-                                        a_di + b.disch, levels, p_dis, True,
-                                        a_hp or b.has_pi, p_tail=p_dis,
-                                        ends_par=True, op="par",
-                                        left=a, right=b)
-                    slot[:] = [e for e in slot
-                               if not (key <= e[0] and p_dis <= e[1].p_dis
-                                       and p_dis <= e[1].p_tail
-                                       and e[1].par_b)]
-                    slot.append((key, cand))
-                    if len(slot) > max_front:
-                        slot.sort(key=lambda e: (e[0], e[1].p_dis))
-                        del slot[max_front:]
-        else:
-            # Series composition: H adds, so b must fit the remaining
-            # height budget (widths are both within w_max already).
-            by_budget = [[b for b in view_b if b.height <= budget]
-                         for budget in range(h_max)]
-            for a in view_a:
-                budget = h_max - a.height
-                if budget < 1:
-                    continue
-                for b in by_budget[budget]:
-                    # Stacking order: the configured ordering rule picks
-                    # which operand(s) go on top.
-                    if adverse:
-                        # Bulk-CMOS habit (Figure 2(a)): the parallel
-                        # stack rises toward the dynamic node.
-                        if b.ends_par and not a.ends_par:
-                            orders = ((b, a),)
-                        else:
-                            orders = ((a, b),)
-                    elif naive:
-                        orders = ((a, b),)
-                    elif exhaustive:
-                        orders = ((a, b), (b, a))
-                    # The paper's rule: a parallel-stack-bearing operand
-                    # sinks to the bottom (its discharge points may be
-                    # protected by ground); with both or neither, the
-                    # operand with more potential discharge points sinks.
-                    elif a.par_b != b.par_b:
-                        orders = ((b, a),) if a.par_b else ((a, b),)
-                    elif a.p_dis >= b.p_dis:
-                        orders = ((b, a),)
-                    else:
-                        orders = ((a, b),)
-                    for top, bottom in orders:
-                        created += 1
-                        t_w = top.width
-                        b_w = bottom.width
-                        width = t_w if t_w > b_w else b_w
-                        height = top.height + bottom.height
-                        if pbe:
-                            if top.par_b:
-                                # The new junction is the never-grounded
-                                # bottom node of the top's trailing
-                                # parallel stack: discharge it and the
-                                # stack's internal (tail) points now.
-                                # The top's spine junctions keep their
-                                # own classification.
-                                committed = top.p_tail + 1
-                                p_dis = ((top.p_dis - top.p_tail)
-                                         + bottom.p_dis)
-                            else:
-                                # Series-ending top: the junction joins
-                                # the combined spine as a new potential
-                                # point; nothing commits.
-                                committed = 0
-                                p_dis = top.p_dis + 1 + bottom.p_dis
-                            p_tail = bottom.p_tail
-                            par_b = bottom.par_b
-                        else:
-                            committed = 0
-                            p_dis = 0
-                            p_tail = 0
-                            par_b = False
-                        wcost = (top.wcost + bottom.wcost
-                                 + committed * discharge)
-                        t_lv = top.levels
-                        b_lv = bottom.levels
-                        levels = t_lv if t_lv > b_lv else b_lv
-                        if metric is not None:
-                            key = metric(wcost, levels)
-                            cand = None
-                        else:
-                            cand = MapTuple(width, height, wcost,
-                                            top.trans + bottom.trans
-                                            + committed,
-                                            top.disch + bottom.disch
-                                            + committed,
-                                            levels, p_dis, par_b,
-                                            top.has_pi or bottom.has_pi,
-                                            p_tail=p_tail,
-                                            ends_par=bottom.ends_par,
-                                            op="ser", left=top, right=bottom)
-                            key = key_fn(cand)
-                        slot = slots_get((width, height))
-                        if slot is None:
-                            if cand is None:
-                                cand = MapTuple(width, height, wcost,
-                                                top.trans + bottom.trans
-                                                + committed,
-                                                top.disch + bottom.disch
-                                                + committed,
-                                                levels, p_dis, par_b,
-                                                top.has_pi or bottom.has_pi,
-                                                p_tail=p_tail,
-                                                ends_par=bottom.ends_par,
-                                                op="ser", left=top,
-                                                right=bottom)
-                            slots[(width, height)] = [(key, cand)]
-                            continue
-                        if not pareto:
-                            inc_key, inc = slot[0]
-                            if key < inc_key or (key == inc_key
-                                                 and p_dis < inc.p_dis):
-                                if cand is None:
-                                    cand = MapTuple(width, height, wcost,
-                                                    top.trans + bottom.trans
-                                                    + committed,
-                                                    top.disch + bottom.disch
-                                                    + committed,
-                                                    levels, p_dis, par_b,
-                                                    top.has_pi
-                                                    or bottom.has_pi,
-                                                    p_tail=p_tail,
-                                                    ends_par=bottom.ends_par,
-                                                    op="ser", left=top,
-                                                    right=bottom)
-                                slot[0] = (key, cand)
-                            else:
-                                pruned += 1
-                                if cand is None:
-                                    skips += 1
-                            continue
-                        dominated = False
-                        for kept_key, kept in slot:
-                            if (kept_key <= key and kept.p_dis <= p_dis
-                                    and kept.p_tail <= p_tail
-                                    and (not kept.par_b or par_b)):
-                                dominated = True
-                                break
-                        if dominated:
-                            pruned += 1
-                            if cand is None:
-                                skips += 1
-                            continue
-                        if cand is None:
-                            cand = MapTuple(width, height, wcost,
-                                            top.trans + bottom.trans
-                                            + committed,
-                                            top.disch + bottom.disch
-                                            + committed,
-                                            levels, p_dis, par_b,
-                                            top.has_pi or bottom.has_pi,
-                                            p_tail=p_tail,
-                                            ends_par=bottom.ends_par,
-                                            op="ser", left=top, right=bottom)
-                        slot[:] = [e for e in slot
-                                   if not (key <= e[0]
-                                           and p_dis <= e[1].p_dis
-                                           and p_tail <= e[1].p_tail
-                                           and (not par_b or e[1].par_b))]
-                        slot.append((key, cand))
-                        if len(slot) > max_front:
-                            slot.sort(key=lambda e: (e[0], e[1].p_dis))
-                            del slot[max_front:]
-        stats = self.stats
-        stats.tuples_created += created
-        stats.tuples_pruned += pruned
-        stats.bound_skips += skips
+        """Fill ``table`` with the surviving combinations of the views.
+
+        Delegates to the run's configured DP kernel (see
+        ``mapping/kernel.py``); kept as an engine method so profiles of
+        any kernel still show one frame covering the combine step.
+        """
+        self.kernel.combine(table, is_or, view_a, view_b)
 
     # ------------------------------------------------------------------
     # the DP over one node
@@ -693,19 +428,21 @@ class MappingEngine:
             views = [self._fanin_view(f) for f in node.fanins]
             view_a, view_b = views
             stats.combine_calls += len(view_a) * len(view_b)
-            # Histogram observation is sampled (every Nth node) so the
-            # extra perf_counter pair stays off the kernel's hot path.
+            # Histogram observation is sampled (every Nth node); the
+            # kernel timer itself always runs — one perf_counter pair
+            # per node, the basis for per-kernel throughput comparisons.
             sampled = (self._h_combine is not None
                        and stats.nodes_processed
                        % self._hist_sample_every == 0)
             if sampled:
                 created_before = stats.tuples_created
-                combine_started = time.perf_counter()
+            combine_started = time.perf_counter()
             self._combine_into(table, node.type is NodeType.OR,
                                view_a, view_b)
+            combine_elapsed = time.perf_counter() - combine_started
+            stats.combine_time_s += combine_elapsed
             if sampled:
-                self._h_combine.observe(
-                    time.perf_counter() - combine_started)
+                self._h_combine.observe(combine_elapsed)
                 self._h_tuples.observe(
                     stats.tuples_created - created_before)
             self._guard_tuples()
@@ -819,6 +556,7 @@ class MappingEngine:
         for uid in network.topological_order():
             if network.node(uid).type in (NodeType.AND, NodeType.OR):
                 self._process_node(uid)
+        self.kernel.finalize()
         return self
 
     def plan(self) -> MappingPlan:
@@ -830,7 +568,8 @@ class MappingEngine:
         """
         network = self.network
         plan = MappingPlan(network_name=network.name, config=self.config,
-                           cost_model=self.model, stats=self.stats)
+                           cost_model=self.model, stats=self.stats,
+                           kernel=self.kernel.active)
         plan.inputs = [network.node(uid).label for uid in network.pis]
 
         used = plan.gate_records
@@ -916,6 +655,7 @@ def materialize_plan(plan: MappingPlan) -> MappingResult:
         cost_model=plan.cost_model,
         gate_records=dict(plan.gate_records),
         stats=plan.stats,
+        kernel=getattr(plan, "kernel", "reference"),
     )
 
 

@@ -33,7 +33,6 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .._compat import deprecated
 from ..domino.circuit import CircuitCost
 from ..errors import MappingError
 from ..network import LogicNetwork
@@ -238,12 +237,12 @@ def map_network(network: LogicNetwork,
         :class:`~repro.pipeline.MappingStats` counters are published
         into it, so summaries can be re-derived from the registry.
     """
-    if isinstance(flow, CostModel):  # pre-1.1 map_network(net, cost_model)
-        deprecated(
-            "map_network(network, cost_model) is deprecated; pass "
-            "cost_model=... by keyword (the second positional argument "
-            "is now the flow name)", remove_in="0.5")
-        cost_model, flow = flow, None
+    if isinstance(flow, CostModel):
+        # removed in 0.5 (was a pre-1.1 deprecation shim): the second
+        # positional argument is the flow name
+        raise TypeError(
+            "map_network() no longer accepts a CostModel as its second "
+            "positional argument; pass cost_model=... by keyword")
     from ..flow import FlowCheckpoint, FlowContext
     from ..obs import MetricsRegistry, Tracer
 
@@ -305,16 +304,11 @@ def rs_map(network: LogicNetwork,
                        config=config, w_max=w_max, h_max=h_max, cache=cache)
 
 
-#: The loose soi_domino_map kwargs retired in favour of ``config=``.
-_SOI_LEGACY_KWARGS = ("ordering", "ground_policy", "pareto", "duplication")
-
-
 def soi_domino_map(network: LogicNetwork,
                    cost_model: Optional[CostModel] = None,
                    w_max: int = PAPER_W_MAX, h_max: int = PAPER_H_MAX,
                    config: Optional[MapperConfig] = None,
-                   cache=None,
-                   **legacy) -> FlowResult:
+                   cache=None) -> FlowResult:
     """The paper's ``SOI_Domino_Map`` (listing 2).
 
     The ablation switches documented in DESIGN.md (``ordering``,
@@ -324,22 +318,8 @@ def soi_domino_map(network: LogicNetwork,
     duplication-free tree regime where the per-tree DP is exact — Table
     III's weighted-objective comparison uses it, because only for exact
     optima does raising the clock weight provably never increase the
-    clock load.
-
-    Passing those switches as keyword arguments still works but emits a
-    :class:`DeprecationWarning`.
+    clock load.  (The pre-0.5 loose keyword spellings of those switches
+    were removed on schedule.)
     """
-    unknown = set(legacy) - set(_SOI_LEGACY_KWARGS)
-    if unknown:
-        raise TypeError(
-            f"soi_domino_map() got unexpected keyword arguments "
-            f"{sorted(unknown)}")
-    if legacy:
-        deprecated(
-            f"soi_domino_map({', '.join(sorted(legacy))}=...) is "
-            "deprecated; pass config=MapperConfig(...) instead",
-            remove_in="0.5")
-        config = flow_config(None, config, w_max=w_max, h_max=h_max)
-        config = replace(config, **legacy)
     return map_network(network, flow="soi", cost_model=cost_model,
                        config=config, w_max=w_max, h_max=h_max, cache=cache)

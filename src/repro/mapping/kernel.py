@@ -1,0 +1,500 @@
+"""DP kernel selection: the reference kernel and the kernel protocol.
+
+The combine/dominance inner loop of the mapping DP exists in two peer
+implementations selected by :attr:`MapperConfig.kernel`:
+
+* ``"reference"`` — the scalar Python kernel (this module), a literal
+  transcription of :meth:`TupleTable.insert` with the lazy-structure and
+  incumbent-bound optimizations of PR 2.  It is the oracle: every other
+  kernel must reproduce its tables bit-for-bit.
+* ``"soa"`` — the structure-of-arrays numpy kernel
+  (:mod:`repro.mapping.soa`): candidate generation and dominance
+  filtering as broadcasted column arithmetic, bit-identical to the
+  reference by construction (see DESIGN.md §12).
+* ``"auto"`` — a hybrid that routes each combine call to the soa kernel
+  when numpy is importable and the operand views are large enough to
+  amortize the array overhead, and to the reference kernel otherwise.
+  Sound because both kernels produce identical tables *and* identical
+  stats counters.
+
+A kernel is bound to one :class:`~repro.mapping.engine.MappingEngine`
+run via :meth:`KernelProtocol.build` and then receives every per-node
+:meth:`KernelProtocol.combine` call.  :meth:`KernelProtocol.finalize`
+runs once after the DP; :meth:`KernelProtocol.stats` exposes per-kernel
+diagnostics for reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+try:  # numpy is an optional dependency: the soa kernel needs it,
+    import numpy as np  # everything else runs without it.
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    np = None
+
+from ..errors import MappingError
+from .cost import CostModel
+from .tuples import MapTuple, TupleTable
+
+#: The values MapperConfig.kernel accepts.
+KERNELS = ("reference", "soa", "auto")
+
+#: Minimum ``len(view_a) * len(view_b)`` for the auto kernel to route a
+#: combine call to the soa kernel; smaller batches stay on the reference
+#: kernel, whose per-pair cost beats the fixed numpy dispatch overhead.
+AUTO_THRESHOLD = 64
+
+
+def metric_fast_path(model: CostModel):
+    """``model.tuple_key_metrics`` when the scalar fast path is sound.
+
+    The fast path prices candidates from raw ``(wcost, levels)`` metrics
+    without allocating a tuple.  It is only trusted when ``tuple_key``
+    is the base-class delegation to ``tuple_key_metrics``; a model
+    overriding ``tuple_key`` directly gets ``None`` (and the reference
+    kernel's allocate-then-insert path).
+    """
+    return (model.tuple_key_metrics
+            if type(model).tuple_key is CostModel.tuple_key else None)
+
+
+def metric_vectorizable(model: CostModel) -> bool:
+    """True when ``tuple_key_metrics`` prices numpy columns elementwise.
+
+    Probes the metric with small arrays and checks the result is a
+    float64 column that agrees with the scalar spelling — the condition
+    under which the soa kernel's vectorized keys are bit-identical to
+    the reference kernel's scalar keys.  Both shipped key forms (plain
+    ``wcost`` and ``level_weight * levels + wcost``) pass; a subclass
+    using non-ufunc arithmetic fails closed.
+    """
+    metric = metric_fast_path(model)
+    if metric is None or np is None:
+        return False
+    wcost = np.array([0.0, 1.5], dtype=np.float64)
+    levels = np.array([0, 3], dtype=np.int64)
+    try:
+        out = metric(wcost, levels)
+    except Exception:
+        return False
+    if not (isinstance(out, np.ndarray) and out.shape == (2,)
+            and out.dtype == np.float64):
+        return False
+    return (float(out[0]) == float(metric(0.0, 0))
+            and float(out[1]) == float(metric(1.5, 3)))
+
+
+@runtime_checkable
+class KernelProtocol(Protocol):
+    """What the mapping engine requires of a DP kernel."""
+
+    #: the configured spelling this kernel implements
+    name: str
+    #: what actually runs ("reference", "soa", or "hybrid")
+    active: str
+
+    def build(self, engine) -> None:
+        """Bind per-run state (config, cost model, stats) from ``engine``."""
+
+    def combine(self, table: TupleTable, is_or: bool,
+                view_a: List[MapTuple], view_b: List[MapTuple]) -> None:
+        """Fill ``table`` with the surviving combinations of the views."""
+
+    def finalize(self) -> None:
+        """Flush any buffered per-run state (called once after the DP)."""
+
+    def stats(self) -> dict:
+        """Per-kernel diagnostics for reports (JSON-ready)."""
+
+
+class ReferenceKernel:
+    """The scalar oracle kernel.
+
+    ``combine`` is deliberately written flat: configuration, cost
+    prices, and the table's slot map are bound to locals once per node,
+    the fanin view is pre-filtered per ``{W,H}`` budget so the inner
+    loop touches only feasible pairs, and a candidate's scalar metrics
+    are priced and bound-checked against the slot incumbent *before*
+    any MapTuple is allocated.  Survivors are allocated lazily: a
+    provenance back-pointer (op/left/right) instead of a built
+    structure tree.
+
+    Bit-identity with the eager seed kernel is load-bearing and rests
+    on three invariants: (1) feasible pairs are visited in exactly the
+    original view order (the pre-filtered lists preserve relative
+    order), (2) the keep/evict decisions are literal transcriptions of
+    :meth:`TupleTable.insert`, and (3) a slot list is only created when
+    its first candidate arrives, so slot insertion order — which the
+    tree cache serializes — is unchanged.
+    """
+
+    name = "reference"
+    active = "reference"
+
+    def __init__(self):
+        self._engine = None
+
+    def build(self, engine) -> None:
+        self._engine = engine
+
+    def finalize(self) -> None:
+        pass
+
+    def stats(self) -> dict:
+        return {"active": self.active}
+
+    def combine(self, table: TupleTable, is_or: bool,
+                view_a: List[MapTuple], view_b: List[MapTuple]) -> None:
+        engine = self._engine
+        config = engine.config
+        w_max = config.w_max
+        h_max = config.h_max
+        pbe = config.pbe_aware
+        pareto = config.pareto
+        ordering = config.ordering
+        adverse = ordering == "adverse" or (not pbe and ordering != "naive")
+        naive = not adverse and (not pbe or ordering == "naive")
+        exhaustive = not adverse and not naive and ordering == "exhaustive"
+        metric = engine._metric_key
+        key_fn = table.key_fn
+        discharge = engine.model.discharge_cost()
+        slots = table.raw_slots()
+        slots_get = slots.get
+        max_front = table.max_front
+        created = 0
+        pruned = 0
+        skips = 0
+        if is_or:
+            # Parallel composition: W adds, so b must fit the remaining
+            # width budget (heights are both within h_max already).
+            by_budget = [[b for b in view_b if b.width <= budget]
+                         for budget in range(w_max)]
+            for a in view_a:
+                budget = w_max - a.width
+                if budget < 1:
+                    continue
+                a_w = a.width
+                a_h = a.height
+                a_wc = a.wcost
+                a_tr = a.trans
+                a_di = a.disch
+                a_lv = a.levels
+                a_pd = a.p_dis
+                a_hp = a.has_pi
+                for b in by_budget[budget]:
+                    created += 1
+                    width = a_w + b.width
+                    b_h = b.height
+                    height = b_h if b_h > a_h else a_h
+                    wcost = a_wc + b.wcost
+                    b_lv = b.levels
+                    levels = b_lv if b_lv > a_lv else a_lv
+                    # Inside a parallel stack every potential point rides
+                    # on the stack's shared bottom node: all of them are
+                    # "tail" points (p_tail == p_dis, par_b True).
+                    p_dis = (a_pd + b.p_dis) if pbe else 0
+                    if metric is not None:
+                        key = metric(wcost, levels)
+                        cand = None
+                    else:
+                        cand = MapTuple(width, height, wcost, a_tr + b.trans,
+                                        a_di + b.disch, levels, p_dis, True,
+                                        a_hp or b.has_pi, p_tail=p_dis,
+                                        ends_par=True, op="par",
+                                        left=a, right=b)
+                        key = key_fn(cand)
+                    slot = slots_get((width, height))
+                    if slot is None:
+                        if cand is None:
+                            cand = MapTuple(width, height, wcost,
+                                            a_tr + b.trans, a_di + b.disch,
+                                            levels, p_dis, True,
+                                            a_hp or b.has_pi, p_tail=p_dis,
+                                            ends_par=True, op="par",
+                                            left=a, right=b)
+                        slots[(width, height)] = [(key, cand)]
+                        continue
+                    if not pareto:
+                        inc_key, inc = slot[0]
+                        if key < inc_key or (key == inc_key
+                                             and p_dis < inc.p_dis):
+                            if cand is None:
+                                cand = MapTuple(width, height, wcost,
+                                                a_tr + b.trans,
+                                                a_di + b.disch,
+                                                levels, p_dis, True,
+                                                a_hp or b.has_pi,
+                                                p_tail=p_dis, ends_par=True,
+                                                op="par", left=a, right=b)
+                            slot[0] = (key, cand)
+                        else:
+                            pruned += 1
+                            if cand is None:
+                                skips += 1
+                        continue
+                    # Pareto front; the candidate has par_b True and
+                    # p_tail == p_dis, which simplifies both dominance
+                    # directions of TupleTable.insert.
+                    dominated = False
+                    for kept_key, kept in slot:
+                        if (kept_key <= key and kept.p_dis <= p_dis
+                                and kept.p_tail <= p_dis):
+                            dominated = True
+                            break
+                    if dominated:
+                        pruned += 1
+                        if cand is None:
+                            skips += 1
+                        continue
+                    if cand is None:
+                        cand = MapTuple(width, height, wcost, a_tr + b.trans,
+                                        a_di + b.disch, levels, p_dis, True,
+                                        a_hp or b.has_pi, p_tail=p_dis,
+                                        ends_par=True, op="par",
+                                        left=a, right=b)
+                    slot[:] = [e for e in slot
+                               if not (key <= e[0] and p_dis <= e[1].p_dis
+                                       and p_dis <= e[1].p_tail
+                                       and e[1].par_b)]
+                    slot.append((key, cand))
+                    if len(slot) > max_front:
+                        slot.sort(key=lambda e: (e[0], e[1].p_dis))
+                        del slot[max_front:]
+        else:
+            # Series composition: H adds, so b must fit the remaining
+            # height budget (widths are both within w_max already).
+            by_budget = [[b for b in view_b if b.height <= budget]
+                         for budget in range(h_max)]
+            for a in view_a:
+                budget = h_max - a.height
+                if budget < 1:
+                    continue
+                for b in by_budget[budget]:
+                    # Stacking order: the configured ordering rule picks
+                    # which operand(s) go on top.
+                    if adverse:
+                        # Bulk-CMOS habit (Figure 2(a)): the parallel
+                        # stack rises toward the dynamic node.
+                        if b.ends_par and not a.ends_par:
+                            orders = ((b, a),)
+                        else:
+                            orders = ((a, b),)
+                    elif naive:
+                        orders = ((a, b),)
+                    elif exhaustive:
+                        orders = ((a, b), (b, a))
+                    # The paper's rule: a parallel-stack-bearing operand
+                    # sinks to the bottom (its discharge points may be
+                    # protected by ground); with both or neither, the
+                    # operand with more potential discharge points sinks.
+                    elif a.par_b != b.par_b:
+                        orders = ((b, a),) if a.par_b else ((a, b),)
+                    elif a.p_dis >= b.p_dis:
+                        orders = ((b, a),)
+                    else:
+                        orders = ((a, b),)
+                    for top, bottom in orders:
+                        created += 1
+                        t_w = top.width
+                        b_w = bottom.width
+                        width = t_w if t_w > b_w else b_w
+                        height = top.height + bottom.height
+                        if pbe:
+                            if top.par_b:
+                                # The new junction is the never-grounded
+                                # bottom node of the top's trailing
+                                # parallel stack: discharge it and the
+                                # stack's internal (tail) points now.
+                                # The top's spine junctions keep their
+                                # own classification.
+                                committed = top.p_tail + 1
+                                p_dis = ((top.p_dis - top.p_tail)
+                                         + bottom.p_dis)
+                            else:
+                                # Series-ending top: the junction joins
+                                # the combined spine as a new potential
+                                # point; nothing commits.
+                                committed = 0
+                                p_dis = top.p_dis + 1 + bottom.p_dis
+                            p_tail = bottom.p_tail
+                            par_b = bottom.par_b
+                        else:
+                            committed = 0
+                            p_dis = 0
+                            p_tail = 0
+                            par_b = False
+                        wcost = (top.wcost + bottom.wcost
+                                 + committed * discharge)
+                        t_lv = top.levels
+                        b_lv = bottom.levels
+                        levels = t_lv if t_lv > b_lv else b_lv
+                        if metric is not None:
+                            key = metric(wcost, levels)
+                            cand = None
+                        else:
+                            cand = MapTuple(width, height, wcost,
+                                            top.trans + bottom.trans
+                                            + committed,
+                                            top.disch + bottom.disch
+                                            + committed,
+                                            levels, p_dis, par_b,
+                                            top.has_pi or bottom.has_pi,
+                                            p_tail=p_tail,
+                                            ends_par=bottom.ends_par,
+                                            op="ser", left=top, right=bottom)
+                            key = key_fn(cand)
+                        slot = slots_get((width, height))
+                        if slot is None:
+                            if cand is None:
+                                cand = MapTuple(width, height, wcost,
+                                                top.trans + bottom.trans
+                                                + committed,
+                                                top.disch + bottom.disch
+                                                + committed,
+                                                levels, p_dis, par_b,
+                                                top.has_pi or bottom.has_pi,
+                                                p_tail=p_tail,
+                                                ends_par=bottom.ends_par,
+                                                op="ser", left=top,
+                                                right=bottom)
+                            slots[(width, height)] = [(key, cand)]
+                            continue
+                        if not pareto:
+                            inc_key, inc = slot[0]
+                            if key < inc_key or (key == inc_key
+                                                 and p_dis < inc.p_dis):
+                                if cand is None:
+                                    cand = MapTuple(width, height, wcost,
+                                                    top.trans + bottom.trans
+                                                    + committed,
+                                                    top.disch + bottom.disch
+                                                    + committed,
+                                                    levels, p_dis, par_b,
+                                                    top.has_pi
+                                                    or bottom.has_pi,
+                                                    p_tail=p_tail,
+                                                    ends_par=bottom.ends_par,
+                                                    op="ser", left=top,
+                                                    right=bottom)
+                                slot[0] = (key, cand)
+                            else:
+                                pruned += 1
+                                if cand is None:
+                                    skips += 1
+                            continue
+                        dominated = False
+                        for kept_key, kept in slot:
+                            if (kept_key <= key and kept.p_dis <= p_dis
+                                    and kept.p_tail <= p_tail
+                                    and (not kept.par_b or par_b)):
+                                dominated = True
+                                break
+                        if dominated:
+                            pruned += 1
+                            if cand is None:
+                                skips += 1
+                            continue
+                        if cand is None:
+                            cand = MapTuple(width, height, wcost,
+                                            top.trans + bottom.trans
+                                            + committed,
+                                            top.disch + bottom.disch
+                                            + committed,
+                                            levels, p_dis, par_b,
+                                            top.has_pi or bottom.has_pi,
+                                            p_tail=p_tail,
+                                            ends_par=bottom.ends_par,
+                                            op="ser", left=top, right=bottom)
+                        slot[:] = [e for e in slot
+                                   if not (key <= e[0]
+                                           and p_dis <= e[1].p_dis
+                                           and p_tail <= e[1].p_tail
+                                           and (not par_b or e[1].par_b))]
+                        slot.append((key, cand))
+                        if len(slot) > max_front:
+                            slot.sort(key=lambda e: (e[0], e[1].p_dis))
+                            del slot[max_front:]
+        stats = engine.stats
+        stats.tuples_created += created
+        stats.tuples_pruned += pruned
+        stats.bound_skips += skips
+
+
+class AutoKernel:
+    """Hybrid dispatch: soa for large batches, reference for small ones.
+
+    Sound as a per-call choice because both kernels produce identical
+    tables and identical stats counters — the routing decision is pure
+    execution strategy.
+    """
+
+    name = "auto"
+    active = "hybrid"
+
+    def __init__(self, reference, soa, threshold=None):
+        self._reference = reference
+        self._soa = soa
+        # late-bound so tests (and tuning runs) can adjust the module
+        # constant without rebuilding every call site
+        self._threshold = AUTO_THRESHOLD if threshold is None else threshold
+
+    def build(self, engine) -> None:
+        self._reference.build(engine)
+        self._soa.build(engine)
+
+    def combine(self, table, is_or, view_a, view_b) -> None:
+        if len(view_a) * len(view_b) >= self._threshold:
+            self._soa.combine(table, is_or, view_a, view_b)
+        else:
+            self._reference.combine(table, is_or, view_a, view_b)
+
+    def finalize(self) -> None:
+        self._reference.finalize()
+        self._soa.finalize()
+
+    def stats(self) -> dict:
+        return {"active": self.active, "threshold": self._threshold,
+                **{k: v for k, v in self._soa.stats().items()
+                   if k != "active"}}
+
+
+def resolve_kernel(engine):
+    """The kernel instance a configured engine runs, already built.
+
+    ``"reference"`` always resolves to the oracle.  ``"soa"`` requires
+    numpy (a hard error otherwise — an explicit request must not be
+    silently ignored) and a vectorizable cost model (falls back to the
+    reference kernel with ``stats.kernel_fallbacks`` incremented).
+    ``"auto"`` picks the hybrid when numpy and the model allow, the
+    reference kernel otherwise.
+    """
+    choice = engine.config.kernel
+    if choice == "reference":
+        kernel = ReferenceKernel()
+        kernel.build(engine)
+        return kernel
+    if np is None:
+        if choice == "soa":
+            raise MappingError(
+                "kernel='soa' requires numpy, which is not importable; "
+                "install numpy or use kernel='reference'/'auto'")
+        kernel = ReferenceKernel()
+        kernel.build(engine)
+        return kernel
+    from .soa import SoAKernel
+
+    if not metric_vectorizable(engine.model):
+        # The model overrides tuple_key directly or its metric form is
+        # not elementwise-exact on arrays: the soa kernel cannot match
+        # the oracle, so the run degrades to the reference kernel.
+        engine.stats.kernel_fallbacks += 1
+        kernel = ReferenceKernel()
+        kernel.build(engine)
+        return kernel
+    if choice == "soa":
+        kernel = SoAKernel()
+    else:
+        kernel = AutoKernel(ReferenceKernel(), SoAKernel())
+    kernel.build(engine)
+    return kernel

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..errors import ObsError
-from ..pipeline.metrics import MappingStats
+from ..pipeline.metrics import MAX_MERGED_FIELDS, MappingStats
 
 #: Fixed buckets for the engine's tuples-per-node histogram.
 TUPLES_PER_NODE_BUCKETS: Tuple[float, ...] = (
@@ -247,13 +247,15 @@ class MetricsRegistry:
         """Publish a run's stats counters into the registry.
 
         Every :class:`MappingStats` field becomes a counter (suffixed
-        ``_total``) except ``max_node_time_s``, which is a max-mode
-        gauge.  Summary surfaces then re-derive their stats through
+        ``_total``) except the max-aggregated fields
+        (:data:`~repro.pipeline.metrics.MAX_MERGED_FIELDS`, e.g.
+        ``max_node_time_s``/``soa_max_batch``), which are max-mode
+        gauges.  Summary surfaces then re-derive their stats through
         :meth:`mapping_stats`, keeping one source of truth.
         """
         for f in fields(stats):
             value = getattr(stats, f.name)
-            if f.name == "max_node_time_s":
+            if f.name in MAX_MERGED_FIELDS:
                 self.gauge(f"{prefix}{f.name}", mode="max").set(value)
             else:
                 self.counter(f"{prefix}{f.name}_total").inc(value)
@@ -263,7 +265,7 @@ class MetricsRegistry:
         """Re-derive a :class:`MappingStats` from the published counters."""
         values: Dict[str, float] = {}
         for f in fields(MappingStats):
-            if f.name == "max_node_time_s":
+            if f.name in MAX_MERGED_FIELDS:
                 metric = self.get(f"{prefix}{f.name}")
             else:
                 metric = self.get(f"{prefix}{f.name}_total")

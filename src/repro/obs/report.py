@@ -67,6 +67,10 @@ def flow_report(result, *, cost_objective: Optional[str] = None,
         "circuit": result.circuit.name,
         "flow": result.flow,
         "stats": _stats_dict(result.stats, getattr(result, "metrics", None)),
+        "kernel": {
+            "requested": result.config.kernel,
+            "active": result.mapping.kernel,
+        },
         "timings": {
             "elapsed_s": result.elapsed_s,
             "passes": pass_seconds,
@@ -120,6 +124,7 @@ def batch_report(report, *,
             },
             "cost": r.cost.as_dict() if r.cost is not None else None,
             "digest": r.digest,
+            "kernel": r.kernel,
             "mode": r.mode,
             "attempts": r.attempts,
         }

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..mapping.engine import ORDERING_RULES, MapperConfig
 from ..mapping.flows import flow_config
+from ..mapping.kernel import KERNELS
 from .runner import BatchReport, BatchRunner, BatchTask
 
 #: Payload format identifier; bump on breaking schema changes.
@@ -48,9 +49,15 @@ DEFAULT_FLOWS = ("soi",)
 DEFAULT_ORDERINGS = ("paper", "exhaustive")
 DEFAULT_MODES = TABLE_MODES
 
+#: DP kernels the sweep exercises.  Both by default: every bench run is
+#: then also a cross-kernel bit-identity witness, and the per-kernel
+#: aggregates are what kernel PRs regress against.
+DEFAULT_KERNELS = ("reference", "soa")
+
 #: Keys every result row must carry (CI asserts them on the artifact).
 #: ``pass_times`` (per-flow-pass wall clock) is additive and therefore
-#: not required of older payloads passed via ``--baseline``.
+#: not required of older payloads passed via ``--baseline``; the same
+#: goes for ``kernel``/``kernel_active``/``combine_s``.
 RESULT_KEYS = ("circuit", "flow", "ordering", "table_mode", "ok",
                "elapsed_s", "digest", "tuples", "pruned", "bound_skips",
                "combines", "cache_hits", "cache_requests", "tuples_per_s",
@@ -60,12 +67,21 @@ RESULT_KEYS = ("circuit", "flow", "ordering", "table_mode", "ok",
 def bench_tasks(circuits: Sequence[str],
                 flows: Sequence[str] = DEFAULT_FLOWS,
                 orderings: Sequence[str] = DEFAULT_ORDERINGS,
-                modes: Sequence[str] = DEFAULT_MODES) -> List[BatchTask]:
+                modes: Sequence[str] = DEFAULT_MODES,
+                kernels: Sequence[str] = DEFAULT_KERNELS,
+                w_max: Optional[int] = None,
+                h_max: Optional[int] = None) -> List[BatchTask]:
     """The sweep's cross product as batch tasks, in deterministic order.
 
     Flow presets pin their defining fields — ``domino``/``rs`` force the
     adverse ordering — so requested orderings that a preset overrides
     collapse to one effective configuration; duplicates are dropped.
+    The kernel is *not* part of :meth:`MapperConfig.fingerprint` (it
+    cannot change results), so the dedup identity carries it explicitly:
+    the sweep intentionally runs the same configuration once per kernel.
+    ``w_max``/``h_max`` override the paper's pulldown limits — larger
+    limits grow the candidate batches, which is how the tuple-heavy
+    throughput sweep is produced.
     """
     for ordering in orderings:
         if ordering not in ORDERING_RULES:
@@ -75,34 +91,51 @@ def bench_tasks(circuits: Sequence[str],
         if mode not in TABLE_MODES:
             raise ValueError(f"unknown table mode {mode!r}; expected one "
                              f"of {', '.join(TABLE_MODES)}")
+    for kernel in kernels:
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; expected one "
+                             f"of {', '.join(KERNELS)}")
+    limits = {}
+    if w_max is not None:
+        limits["w_max"] = w_max
+    if h_max is not None:
+        limits["h_max"] = h_max
     tasks: List[BatchTask] = []
     seen = set()
     for name in circuits:
         for flow in flows:
             for ordering in orderings:
                 for mode in modes:
-                    config = MapperConfig(ordering=ordering,
-                                          pareto=(mode == "pareto"))
-                    effective = flow_config(flow, config)
-                    identity = (name, flow, effective.fingerprint())
-                    if identity in seen:
-                        continue
-                    seen.add(identity)
-                    tasks.append(BatchTask(circuit=name, flow=flow,
-                                           config=effective))
+                    for kernel in kernels:
+                        config = MapperConfig(ordering=ordering,
+                                              pareto=(mode == "pareto"),
+                                              kernel=kernel, **limits)
+                        effective = flow_config(flow, config)
+                        identity = (name, flow, effective.fingerprint(),
+                                    kernel)
+                        if identity in seen:
+                            continue
+                        seen.add(identity)
+                        tasks.append(BatchTask(circuit=name, flow=flow,
+                                               config=effective))
     return tasks
 
 
-def _result_row(result, repeats_elapsed: List[float]) -> Dict:
+def _result_row(result, repeats_elapsed: List[float],
+                repeats_combine: List[float]) -> Dict:
     task = result.task
     elapsed = min(repeats_elapsed)
+    combine_s = min(repeats_combine) if repeats_combine else 0.0
     row: Dict = {
         "circuit": task.circuit,
         "flow": task.flow,
         "ordering": task.config.ordering,
         "table_mode": "pareto" if task.config.pareto else "single",
+        "kernel": task.config.kernel,
+        "kernel_active": result.kernel,
         "ok": result.ok,
         "elapsed_s": elapsed,
+        "combine_s": combine_s,
         "digest": result.digest,
         "pass_times": dict(result.pass_times or {}),
         "tuples": 0, "pruned": 0, "bound_skips": 0, "combines": 0,
@@ -123,6 +156,83 @@ def _result_row(result, repeats_elapsed: List[float]) -> Dict:
     if not result.ok:
         row["error"] = result.error
     return row
+
+
+#: The tuple-heavy *throughput* subset: single-best tables under the
+#: exhaustive ordering.  Those configurations stream the largest
+#: candidate batches through pure vectorized selection (no per-slot
+#: front replay), so they are where kernel throughput — tuples priced
+#: per second of combine time — is compared.
+def _throughput_row(row: Dict) -> bool:
+    return (row["ok"] and row["table_mode"] == "single"
+            and row["ordering"] == "exhaustive")
+
+
+def kernel_comparison(rows: List[Dict]) -> Dict:
+    """Cross-kernel parity and throughput blocks of a bench payload.
+
+    ``parity`` pairs every non-kernel configuration and asserts digests
+    and work counters agree across kernels — the sweep-wide bit-identity
+    witness.  ``by_kernel`` aggregates per kernel; ``speedup`` compares
+    aggregate tuple throughput (tuples per second of combine time, over
+    the tuple-heavy throughput subset) of each kernel against the
+    reference kernel.
+    """
+    by_kernel: Dict[str, Dict] = {}
+    for r in rows:
+        if not r["ok"]:
+            continue
+        group = by_kernel.setdefault(
+            r["kernel"], {"tasks": 0, "task_time_s": 0.0,
+                          "combine_time_s": 0.0, "tuples": 0,
+                          "heavy_combine_s": 0.0, "heavy_tuples": 0})
+        group["tasks"] += 1
+        group["task_time_s"] += r["elapsed_s"]
+        group["combine_time_s"] += r["combine_s"]
+        group["tuples"] += r["tuples"]
+        if _throughput_row(r):
+            group["heavy_combine_s"] += r["combine_s"]
+            group["heavy_tuples"] += r["tuples"]
+    for group in by_kernel.values():
+        heavy_s = group.pop("heavy_combine_s")
+        heavy_t = group.pop("heavy_tuples")
+        group["tuple_heavy_tuples_per_combine_s"] = (
+            heavy_t / heavy_s if heavy_s > 0 else None)
+
+    configs: Dict[tuple, Dict[str, Dict]] = {}
+    for r in rows:
+        if r["ok"]:
+            key = (r["circuit"], r["flow"], r["ordering"], r["table_mode"])
+            configs.setdefault(key, {})[r["kernel"]] = r
+    checked = 0
+    mismatches: List[Dict] = []
+    for key, per_kernel in sorted(configs.items()):
+        if len(per_kernel) < 2:
+            continue
+        checked += 1
+        witness = {k: (r["digest"], r["tuples"], r["pruned"],
+                       r["bound_skips"]) for k, r in per_kernel.items()}
+        if len(set(witness.values())) > 1:
+            mismatches.append({"circuit": key[0], "flow": key[1],
+                               "ordering": key[2], "table_mode": key[3],
+                               "witness": {k: list(v)
+                                           for k, v in witness.items()}})
+
+    reference = by_kernel.get("reference", {})
+    ref_thru = reference.get("tuple_heavy_tuples_per_combine_s")
+    speedup = {}
+    for kernel, group in by_kernel.items():
+        if kernel == "reference":
+            continue
+        thru = group["tuple_heavy_tuples_per_combine_s"]
+        speedup[kernel] = (thru / ref_thru
+                           if thru and ref_thru else None)
+    return {
+        "by_kernel": by_kernel,
+        "parity": {"configs_checked": checked,
+                   "mismatches": mismatches},
+        "tuple_heavy_throughput_speedup": speedup,
+    }
 
 
 def _aggregate(rows: List[Dict]) -> Dict:
@@ -161,6 +271,9 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
               flows: Sequence[str] = DEFAULT_FLOWS,
               orderings: Sequence[str] = DEFAULT_ORDERINGS,
               modes: Sequence[str] = DEFAULT_MODES,
+              kernels: Sequence[str] = DEFAULT_KERNELS,
+              w_max: Optional[int] = None,
+              h_max: Optional[int] = None,
               jobs: int = 1,
               use_cache: bool = False,
               repeat: int = 1,
@@ -180,7 +293,8 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
     from ..bench_suite import circuit_names
 
     names = list(circuits) if circuits else circuit_names()
-    tasks = bench_tasks(names, flows=flows, orderings=orderings, modes=modes)
+    tasks = bench_tasks(names, flows=flows, orderings=orderings, modes=modes,
+                        kernels=kernels, w_max=w_max, h_max=h_max)
     started = time.perf_counter()
     reports: List[BatchReport] = []
     for _ in range(repeat):
@@ -195,10 +309,13 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
     first = reports[0]
     for index, result in enumerate(first.results):
         elapsed = [rep.results[index].elapsed_s for rep in reports]
+        combine = [rep.results[index].stats.combine_time_s
+                   for rep in reports
+                   if rep.results[index].stats is not None]
         if any(rep.results[index].digest != result.digest
                for rep in reports[1:]):
             deterministic = False
-        rows.append(_result_row(result, elapsed))
+        rows.append(_result_row(result, elapsed, combine))
 
     if tracer is not None:
         from ..obs import stitch
@@ -225,8 +342,12 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
             f"{'enabled' if use_cache else 'disabled'} so each task times "
             "the raw DP kernel; digests are sha256 of the mapped "
             "transistor netlist and must be bit-identical across kernel "
-            "implementations. tuple-heavy = pareto tables or exhaustive "
-            "ordering, the configurations perf PRs regress against."),
+            "implementations (the kernels block cross-checks them). "
+            "tuple-heavy = pareto tables or exhaustive ordering, the "
+            "configurations perf PRs regress against; kernel throughput "
+            "(tuples per second of combine time) is compared over the "
+            "single/exhaustive subset, where the largest candidate "
+            "batches run pure vectorized selection."),
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -240,11 +361,15 @@ def run_bench(circuits: Optional[Sequence[str]] = None,
             "flows": flow_list,
             "orderings": list(dict.fromkeys(orderings)),
             "table_modes": list(dict.fromkeys(modes)),
+            "kernels": list(dict.fromkeys(kernels)),
+            "w_max": w_max,
+            "h_max": h_max,
         },
         "deterministic": deterministic,
         "wall_s": wall_s,
         "results": rows,
         "aggregate": _aggregate(rows),
+        "kernels": kernel_comparison(rows),
     }
     from ..obs import extend_bench_payload
 
@@ -319,6 +444,13 @@ def validate_payload(payload: Dict) -> List[str]:
     for counter in ("tasks", "task_time_s", "tuples", "combines"):
         if not aggregate.get(counter, 0) > 0:
             problems.append(f"aggregate counter {counter!r} is not > 0")
+    kernels = payload.get("kernels")
+    if kernels is not None:
+        for mismatch in kernels.get("parity", {}).get("mismatches", []):
+            problems.append(
+                "cross-kernel digest/counter mismatch on "
+                f"{mismatch.get('circuit')}/{mismatch.get('ordering')}/"
+                f"{mismatch.get('table_mode')}")
     return problems
 
 

@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict
 
+#: Stats fields that aggregate by max (not sum) when merging runs.
+MAX_MERGED_FIELDS = ("max_node_time_s", "soa_max_batch")
+
 
 @dataclass
 class MappingStats:
@@ -46,6 +49,20 @@ class MappingStats:
         AND/OR nodes the DP visited.
     node_time_s, max_node_time_s:
         Total and worst single-node wall time spent in the per-node DP.
+    combine_time_s:
+        The subset of ``node_time_s`` spent inside the DP kernel's
+        combine step — the denominator for kernel tuple-throughput
+        comparisons (gate formation, fanin views and cache traffic are
+        excluded because they are identical across kernels).
+    soa_batches, soa_candidates, soa_max_batch:
+        Vectorized-kernel activity: combine calls executed by the
+        structure-of-arrays kernel, candidates those calls processed as
+        numpy columns, and the largest single vectorized batch.  All
+        zero for pure reference-kernel runs.
+    kernel_fallbacks:
+        Runs where the soa kernel was requested (or auto-eligible) but
+        the cost model was not vectorizable, so the reference kernel
+        ran instead (once per affected engine construction).
     """
 
     tuples_created: int = 0
@@ -58,6 +75,11 @@ class MappingStats:
     nodes_processed: int = 0
     node_time_s: float = 0.0
     max_node_time_s: float = 0.0
+    combine_time_s: float = 0.0
+    soa_batches: int = 0
+    soa_candidates: int = 0
+    soa_max_batch: int = 0
+    kernel_fallbacks: int = 0
 
     @property
     def tuples_kept(self) -> int:
@@ -76,9 +98,9 @@ class MappingStats:
     def merge(self, other: "MappingStats") -> "MappingStats":
         """Accumulate ``other`` into self (returns self for chaining)."""
         for f in fields(self):
-            if f.name == "max_node_time_s":
-                self.max_node_time_s = max(self.max_node_time_s,
-                                           other.max_node_time_s)
+            if f.name in MAX_MERGED_FIELDS:
+                setattr(self, f.name, max(getattr(self, f.name),
+                                          getattr(other, f.name)))
             else:
                 setattr(self, f.name,
                         getattr(self, f.name) + getattr(other, f.name))
@@ -107,6 +129,11 @@ class MappingStats:
         ]
         if self.bound_skips:
             parts.insert(2, f"bound_skips={self.bound_skips}")
+        if self.soa_batches:
+            parts.append(f"soa={self.soa_batches}x"
+                         f"/{self.soa_candidates}")
+        if self.kernel_fallbacks:
+            parts.append(f"kernel_fallbacks={self.kernel_fallbacks}")
         if self.cache_requests:
             parts.append(f"cache={self.cache_hits}/{self.cache_requests}"
                          f" ({100.0 * self.cache_hit_rate:.0f}%)")

@@ -106,6 +106,8 @@ class BatchResult:
     trace: Optional[Span] = None
     #: the task's metrics registry (merged into the report's aggregate)
     metrics: Optional[MetricsRegistry] = None
+    #: the DP kernel that actually ran ("reference", "soa", "hybrid")
+    kernel: Optional[str] = None
     elapsed_s: float = 0.0
     error: Optional[str] = None
     #: "pool", "serial", "serial-fallback" (pool gave up on this task),
@@ -271,6 +273,7 @@ def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
                            digest=result.circuit.digest(),
                            pass_times=result.pass_times(),
                            trace=root, metrics=metrics,
+                           kernel=result.mapping.kernel,
                            elapsed_s=time.perf_counter() - started,
                            mode=mode, attempts=attempt)
     except Exception as exc:  # noqa: BLE001 - one bad task must not kill a sweep

@@ -264,17 +264,28 @@ def _run_checkpoint_corrupt(*, seed, target, baseline, **_) -> ChaosOutcome:
 
 
 def _run_cache_poison(*, seed, target, baseline, **_) -> ChaosOutcome:
+    from ..mapping import MapperConfig
     from ..pipeline import TreeCache
+
+    try:
+        import numpy  # noqa: F401
+        recovery_kernel = "soa"
+    except ImportError:  # pragma: no cover - numpy is installed in CI
+        recovery_kernel = "reference"
 
     clean = map_network(load_circuit(target), flow="soi")
     cache = TreeCache()
-    # first run populates the cache fault-free...
+    # first run populates the cache fault-free (reference kernel)...
     map_network(load_circuit(target), flow="soi", cache=cache)
     plan = FaultPlan(seed=seed, rules=(FaultRule("cache.poison"),))
     previous = install(plan)
     try:
-        # ...the second run's hits are poisoned and must be recomputed
-        poisoned = map_network(load_circuit(target), flow="soi", cache=cache)
+        # ...the second run's hits are poisoned and must be recomputed.
+        # The recompute runs under the soa kernel (when available): the
+        # recovery path must be bit-identical across kernels too.
+        poisoned = map_network(load_circuit(target), flow="soi",
+                               cache=cache,
+                               config=MapperConfig(kernel=recovery_kernel))
     finally:
         install(previous)
     digests_ok = poisoned.circuit.digest() == clean.circuit.digest()
@@ -282,6 +293,7 @@ def _run_cache_poison(*, seed, target, baseline, **_) -> ChaosOutcome:
     ok = digests_ok and evicted
     detail = (f"{cache.evictions} poisoned entries evicted"
               f"{'' if evicted else ' (EXPECTED > 0)'}, "
+              f"recomputed under kernel={recovery_kernel}, "
               f"digest {'matches uncached run' if digests_ok else 'DIVERGED'}")
     return ChaosOutcome(site="cache.poison", spec=plan.spec(), ok=ok,
                         detail=detail, digests_ok=digests_ok)

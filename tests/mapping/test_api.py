@@ -1,4 +1,4 @@
-"""The 1.1 flow API: presets, config routing, deprecation shims."""
+"""The unified flow API: presets, config routing, retired shims."""
 
 import warnings
 
@@ -67,28 +67,23 @@ class TestUnifiedEntryPoint:
         assert set(FLOW_PRESETS) == {"domino", "rs", "soi"}
 
 
-class TestDeprecationShims:
-    @pytest.mark.parametrize("kwarg,value,field", [
-        ("ordering", "naive", "ordering"),
-        ("ground_policy", "pessimistic", "ground_policy"),
-        ("pareto", True, "pareto"),
-        ("duplication", False, "duplication"),
-    ])
-    def test_legacy_soi_kwargs_warn_and_match_config(self, kwarg, value,
-                                                     field):
-        net = load_circuit("cm150")
-        with pytest.warns(DeprecationWarning, match=kwarg):
-            legacy = soi_domino_map(net, **{kwarg: value})
-        modern = soi_domino_map(net, config=MapperConfig(**{field: value}))
-        assert getattr(legacy.config, field) == value
-        assert _same(legacy, modern)
+class TestRemovedShims:
+    """The pre-0.5 loose spellings are gone — hard errors, not warnings
+    (the removal itself is asserted in ``tests/test_compat.py``)."""
 
-    def test_legacy_positional_cost_model_warns_and_matches(self):
-        net = load_circuit("mux")
-        model = ClockWeightedCost(2.0)
-        with pytest.warns(DeprecationWarning, match="cost_model"):
-            legacy = map_network(net, model)  # pre-1.1 signature
-        assert _same(legacy, map_network(net, cost_model=model))
+    @pytest.mark.parametrize("kwarg,value", [
+        ("ordering", "naive"),
+        ("ground_policy", "pessimistic"),
+        ("pareto", True),
+        ("duplication", False),
+    ])
+    def test_legacy_soi_kwargs_are_type_errors(self, kwarg, value):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            soi_domino_map(load_circuit("cm150"), **{kwarg: value})
+
+    def test_legacy_positional_cost_model_is_a_type_error(self):
+        with pytest.raises(TypeError, match="cost_model"):
+            map_network(load_circuit("mux"), ClockWeightedCost(2.0))
 
     def test_unknown_soi_kwarg_is_a_type_error(self):
         with pytest.raises(TypeError, match="unexpected keyword"):

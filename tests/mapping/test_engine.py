@@ -96,9 +96,9 @@ class TestBookkeeping:
         engine = MappingEngine(unate, CostModel(), MapperConfig())
         result = engine.run()
         assert result.stats.tuples_created > 0
-        # the old field survives as a deprecated alias
-        with pytest.warns(DeprecationWarning):
-            assert result.tuples_created == result.stats.tuples_created
+        # the pre-0.5 deprecated alias was removed on schedule
+        with pytest.raises(AttributeError):
+            result.tuples_created
 
 
 class TestModes:

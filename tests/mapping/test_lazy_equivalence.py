@@ -12,6 +12,12 @@ lazy kernel reproduces them bit-for-bit.
 The default run covers the small circuits over every flow/ordering/mode
 combination plus mid-size spot checks; set ``REPRO_EQUIV_FULL=1`` to
 sweep all 28 circuits (the full pinned digest set, a few minutes).
+
+Every digest check runs under each available DP kernel (reference and,
+when numpy is importable, soa) against the *same* pinned seed digests:
+the structure-of-arrays kernel must reproduce the seed bit-for-bit too,
+with a private tree cache per kernel so each kernel genuinely executes
+its own DP instead of replaying the other's cached tables.
 """
 
 from __future__ import annotations
@@ -50,17 +56,25 @@ MODES = ("single", "pareto")
 SMALL_CIRCUITS = ("cm150", "mux", "z4ml", "cordic", "count", "9symml")
 SPOT_CIRCUITS = ("f51m", "c432", "c880")
 
+try:
+    import numpy  # noqa: F401
+    KERNELS_UNDER_TEST = ("reference", "soa")
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    KERNELS_UNDER_TEST = ("reference",)
+
 
 def _combos(circuits):
     for name in circuits:
         for flow, orderings in FLOW_ORDERINGS.items():
             for ordering in orderings:
                 for mode in MODES:
-                    yield name, flow, ordering, mode
+                    for kernel in KERNELS_UNDER_TEST:
+                        yield name, flow, ordering, mode, kernel
 
 
-def _digest(network, flow, ordering, mode, cache):
-    config = MapperConfig(ordering=ordering, pareto=(mode == "pareto"))
+def _digest(network, flow, ordering, mode, cache, kernel="reference"):
+    config = MapperConfig(ordering=ordering, pareto=(mode == "pareto"),
+                          kernel=kernel)
     result = map_network(network, flow=flow, config=config, cache=cache)
     return hashlib.sha256(
         circuit_netlist(result.circuit).encode()).hexdigest()
@@ -68,36 +82,43 @@ def _digest(network, flow, ordering, mode, cache):
 
 @pytest.fixture(scope="module")
 def shared_cache():
-    """One TreeCache across the module, like the seed digest generator."""
-    return TreeCache()
+    """One TreeCache per kernel, like the seed digest generator — private
+    per kernel so each kernel executes its own DP, no cross-replay."""
+    caches = {kernel: TreeCache() for kernel in KERNELS_UNDER_TEST}
+    return caches.__getitem__
 
 
-@pytest.mark.parametrize("name,flow,ordering,mode",
+@pytest.mark.parametrize("name,flow,ordering,mode,kernel",
                          list(_combos(SMALL_CIRCUITS)))
-def test_digest_matches_seed_small(name, flow, ordering, mode, shared_cache):
-    digest = _digest(load_circuit(name), flow, ordering, mode, shared_cache)
+def test_digest_matches_seed_small(name, flow, ordering, mode, kernel,
+                                   shared_cache):
+    digest = _digest(load_circuit(name), flow, ordering, mode,
+                     shared_cache(kernel), kernel)
     assert digest == SEED_DIGESTS[f"{name}/{flow}/{ordering}/{mode}"]
 
 
 @pytest.mark.parametrize("name", SPOT_CIRCUITS)
 @pytest.mark.parametrize("flow", tuple(FLOW_ORDERINGS))
-def test_digest_matches_seed_spot(name, flow, shared_cache):
+@pytest.mark.parametrize("kernel", KERNELS_UNDER_TEST)
+def test_digest_matches_seed_spot(name, flow, kernel, shared_cache):
     """Mid-size circuits at each flow's default configuration."""
     ordering = FLOW_ORDERINGS[flow][0]
     digest = _digest(load_circuit(name), flow, ordering, "single",
-                     shared_cache)
+                     shared_cache(kernel), kernel)
     assert digest == SEED_DIGESTS[f"{name}/{flow}/{ordering}/single"]
 
 
 @pytest.mark.skipif(os.environ.get("REPRO_EQUIV_FULL") != "1",
                     reason="full 28-circuit sweep; set REPRO_EQUIV_FULL=1")
-def test_digest_matches_seed_full_suite(shared_cache):
-    """Every pinned digest — the whole suite x flows x orderings x modes."""
+@pytest.mark.parametrize("kernel", KERNELS_UNDER_TEST)
+def test_digest_matches_seed_full_suite(kernel, shared_cache):
+    """Every pinned digest — the whole suite x flows x orderings x modes,
+    once per kernel: the weekly dual-kernel digest gate."""
     mismatches = []
     for key, expected in sorted(SEED_DIGESTS.items()):
         name, flow, ordering, mode = key.split("/")
         digest = _digest(load_circuit(name), flow, ordering, mode,
-                         shared_cache)
+                         shared_cache(kernel), kernel)
         if digest != expected:
             mismatches.append(key)
     assert mismatches == []

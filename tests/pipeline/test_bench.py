@@ -20,18 +20,38 @@ def tiny_payload():
 def test_bench_tasks_cross_product():
     tasks = bench_tasks(("cm150", "mux"))
     # 2 circuits x soi x {paper, exhaustive} x {single, pareto}
-    assert len(tasks) == 8
+    #            x {reference, soa}
+    assert len(tasks) == 16
     assert {t.circuit for t in tasks} == {"cm150", "mux"}
     assert all(t.flow == "soi" for t in tasks)
+    assert {t.config.kernel for t in tasks} == {"reference", "soa"}
+    single = bench_tasks(("cm150", "mux"), kernels=("reference",))
+    assert len(single) == 8
 
 
 def test_bench_tasks_dedups_pinned_orderings():
     # the domino preset pins ordering=adverse, so both requested
     # orderings collapse to one effective config per circuit/mode
     tasks = bench_tasks(("cm150",), flows=("domino",),
-                        orderings=("paper", "exhaustive"))
+                        orderings=("paper", "exhaustive"),
+                        kernels=("reference",))
     assert len(tasks) == 2
     assert {t.config.pareto for t in tasks} == {False, True}
+
+
+def test_bench_tasks_kernel_rides_dedup_identity():
+    # the kernel is not in MapperConfig.fingerprint(), so the sweep must
+    # still produce one task per kernel for one configuration
+    tasks = bench_tasks(("cm150",), orderings=("paper",),
+                        modes=("single",), kernels=("reference", "soa"))
+    assert len(tasks) == 2
+    assert {t.config.kernel for t in tasks} == {"reference", "soa"}
+
+
+def test_bench_tasks_limit_overrides():
+    tasks = bench_tasks(("mux",), kernels=("reference",),
+                        w_max=9, h_max=11)
+    assert all(t.config.w_max == 9 and t.config.h_max == 11 for t in tasks)
 
 
 def test_bench_tasks_rejects_unknown_axis():
@@ -39,25 +59,56 @@ def test_bench_tasks_rejects_unknown_axis():
         bench_tasks(("mux",), orderings=("sideways",))
     with pytest.raises(ValueError, match="table mode"):
         bench_tasks(("mux",), modes=("best",))
+    with pytest.raises(ValueError, match="kernel"):
+        bench_tasks(("mux",), kernels=("simd",))
 
 
 def test_run_bench_payload_is_valid(tiny_payload):
     assert validate_payload(tiny_payload) == []
     assert tiny_payload["schema"] == BENCH_SCHEMA
     assert tiny_payload["deterministic"] is True
-    assert len(tiny_payload["results"]) == 8
+    assert len(tiny_payload["results"]) == 16
     for row in tiny_payload["results"]:
         assert row["ok"]
+        assert row["kernel"] in ("reference", "soa")
+        assert row["kernel_active"] in ("reference", "soa")
+        assert row["combine_s"] >= 0.0
         for key in RESULT_KEYS:
             assert key in row
     agg = tiny_payload["aggregate"]
-    assert agg["tasks"] == 8 and agg["failures"] == 0
+    assert agg["tasks"] == 16 and agg["failures"] == 0
     assert agg["tuples"] > 0 and agg["task_time_s"] > 0
     # every default config is tuple-heavy except soi/paper/single
     assert agg["tuple_heavy_task_time_s"] < agg["task_time_s"]
     assert set(agg["by_config"]) == {"soi/paper/single", "soi/paper/pareto",
                                      "soi/exhaustive/single",
                                      "soi/exhaustive/pareto"}
+
+
+def test_run_bench_kernel_parity_block(tiny_payload):
+    kernels = tiny_payload["kernels"]
+    # 2 circuits x 4 configurations, each run under both kernels
+    assert kernels["parity"]["configs_checked"] == 8
+    assert kernels["parity"]["mismatches"] == []
+    by_kernel = kernels["by_kernel"]
+    assert set(by_kernel) == {"reference", "soa"}
+    # identical work per kernel: the digest/counters agree, so tuple
+    # totals must match exactly across kernels
+    assert (by_kernel["reference"]["tuples"] == by_kernel["soa"]["tuples"])
+    assert by_kernel["reference"]["tasks"] == 8
+    assert "soa" in kernels["tuple_heavy_throughput_speedup"]
+
+
+def test_validate_payload_flags_kernel_mismatch(tiny_payload):
+    broken = copy.deepcopy(tiny_payload)
+    soa_rows = [r for r in broken["results"] if r["kernel"] == "soa"]
+    soa_rows[0]["digest"] = "0" * 64
+    from repro.pipeline.bench import kernel_comparison
+
+    broken["kernels"] = kernel_comparison(broken["results"])
+    assert broken["kernels"]["parity"]["mismatches"]
+    problems = validate_payload(broken)
+    assert any("cross-kernel" in p for p in problems)
 
 
 def test_run_bench_rejects_bad_repeat():

@@ -28,10 +28,11 @@ def test_stats_populated_for_every_flow():
         assert stats.cache_hit_rate == 0.0
 
 
-def test_tuples_created_mirrors_stats():
+def test_tuples_created_alias_removed():
     result = map_network(load_circuit("cm150"))
-    with pytest.warns(DeprecationWarning):
-        assert result.mapping.tuples_created == result.stats.tuples_created
+    # the pre-0.5 deprecated alias was removed on schedule
+    with pytest.raises(AttributeError):
+        result.mapping.tuples_created
     assert result.stats.tuples_kept == (result.stats.tuples_created
                                         - result.stats.tuples_pruned)
 

@@ -43,6 +43,33 @@ def test_map_dot_flag(capsys):
     assert "digraph" in capsys.readouterr().out
 
 
+def test_map_kernel_flag(capsys):
+    pytest.importorskip("numpy")
+    assert main(["map", "mux", "--kernel", "soa"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel:    soa (active: soa)" in out
+    assert main(["map", "mux", "--kernel", "reference"]) == 0
+    assert "(active: reference)" in capsys.readouterr().out
+
+
+def test_batch_kernel_column(capsys):
+    pytest.importorskip("numpy")
+    assert main(["batch", "mux", "--serial", "--kernel", "soa"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out
+    assert "soa" in out
+
+
+def test_bench_kernel_selection(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    assert main(["bench", "mux", "-o", str(path),
+                 "--kernels", "reference"]) == 0
+    out = capsys.readouterr().out
+    assert "bench: 4 tasks" in out
+    # single-kernel sweeps have no cross-kernel pairs to compare
+    assert "kernels:" not in out
+
+
 def test_batch_sweep(capsys):
     assert main(["batch", "cm150", "mux", "-a", "domino", "-a", "soi",
                  "--serial"]) == 0
@@ -85,8 +112,9 @@ def test_bench_writes_valid_payload(tmp_path, capsys):
     path = tmp_path / "bench.json"
     assert main(["bench", "cm150", "mux", "-o", str(path)]) == 0
     out = capsys.readouterr().out
-    assert "bench: 8 tasks" in out
+    assert "bench: 16 tasks" in out
     assert "aggregate:" in out
+    assert "kernels:   digests IDENTICAL" in out
     assert path.exists()
 
     assert main(["bench", "--check", str(path)]) == 0

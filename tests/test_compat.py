@@ -1,15 +1,19 @@
-"""The consolidated deprecation shims: every legacy spelling still warns.
+"""The consolidated deprecation machinery, after the 0.5 removals.
 
-All three shims route through :func:`repro._compat.deprecated`, so this
-module is the one place asserting (a) the helper itself behaves, and
-(b) each legacy surface still emits its ``DeprecationWarning`` with the
-message users have been seeing.
+All pre-0.5 shims — the positional-CostModel ``map_network`` call form,
+the loose ``soi_domino_map`` keyword switches, and the
+``MappingResult.tuples_created`` alias — were removed on schedule, so
+this module now asserts (a) the :func:`repro._compat.deprecated` helper
+still behaves for future shims, (b) the shim table is empty, and (c)
+each retired legacy spelling is genuinely gone (hard error, not a
+silent success).
 """
 
 import warnings
 
 import pytest
 
+import repro
 from repro._compat import SHIMS, deprecated
 from repro.mapping import CostModel, map_network, soi_domino_map
 from repro.network import network_from_expression
@@ -31,26 +35,27 @@ def test_helper_is_silent_under_simplefilter_ignore():
         deprecated("suppressed", stacklevel=1)
 
 
-def test_map_network_positional_cost_model_warns():
-    # pre-1.1 spelling: map_network(net, cost_model) with the model in
-    # the (now flow-name) second positional slot
-    with pytest.warns(DeprecationWarning, match="cost_model"):
-        result = map_network(_net(), CostModel())
-    assert result.flow == "custom"
-    assert len(result.circuit) > 0
+def test_shim_table_is_empty_since_0_5():
+    # every shim scheduled for 0.5 was removed with the 0.5 release;
+    # a new deprecation must add itself here with a removal release
+    assert SHIMS == ()
+    assert repro.__version__.startswith("0.5")
 
 
-def test_soi_domino_map_legacy_kwargs_warn():
-    with pytest.warns(DeprecationWarning, match="ordering"):
-        result = soi_domino_map(_net(), ordering="adverse")
-    assert result.config.ordering == "adverse"
+def test_map_network_positional_cost_model_removed():
+    with pytest.raises(TypeError, match="cost_model"):
+        map_network(_net(), CostModel())
 
 
-def test_tuples_created_alias_warns_and_matches_stats():
+def test_soi_domino_map_legacy_kwargs_removed():
+    with pytest.raises(TypeError, match="ordering"):
+        soi_domino_map(_net(), ordering="adverse")
+
+
+def test_tuples_created_alias_removed():
     result = map_network(_net(), flow="soi")
-    with pytest.warns(DeprecationWarning, match="tuples_created"):
-        legacy = result.mapping.tuples_created
-    assert legacy == result.stats.tuples_created
+    with pytest.raises(AttributeError):
+        result.mapping.tuples_created
 
 
 def test_modern_spellings_stay_silent():
@@ -58,32 +63,3 @@ def test_modern_spellings_stay_silent():
         warnings.simplefilter("error", DeprecationWarning)
         result = map_network(_net(), flow="soi", cost_model=CostModel())
         assert result.stats.tuples_created > 0
-
-
-def test_shim_table_names_replacement_and_removal_release():
-    # Every shim left in the package must tell users where to go and
-    # when it disappears — no open-ended deprecations.
-    assert SHIMS, "the shim table must enumerate the remaining shims"
-    for shim in SHIMS:
-        assert shim.name, "shim must name its legacy spelling"
-        assert shim.replacement, f"{shim.name} must name its replacement"
-        assert shim.replacement != shim.name
-        assert shim.remove_in == "0.5"
-
-
-def test_shim_table_covers_every_legacy_surface():
-    names = " ".join(shim.name for shim in SHIMS)
-    assert "map_network" in names
-    assert "soi_domino_map" in names
-    assert "MappingResult.tuples_created" in names
-
-
-def test_warnings_carry_the_scheduled_removal_release():
-    removal = r"scheduled for removal in 0\.5"
-    with pytest.warns(DeprecationWarning, match=removal):
-        map_network(_net(), CostModel())
-    with pytest.warns(DeprecationWarning, match=removal):
-        soi_domino_map(_net(), ordering="adverse")
-    result = map_network(_net(), flow="soi")
-    with pytest.warns(DeprecationWarning, match=removal):
-        result.mapping.tuples_created
