@@ -97,8 +97,10 @@ from .pipeline import (
     BatchResult,
     BatchRunner,
     BatchTask,
+    CacheStore,
     MappingStats,
     TreeCache,
+    WorkerPool,
 )
 from .resilience import (
     FAULT_POINTS,
@@ -174,8 +176,10 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "BatchTask",
+    "CacheStore",
     "MappingStats",
     "TreeCache",
+    "WorkerPool",
     "FAULT_POINTS",
     "FaultPlan",
     "FaultPoint",

@@ -15,7 +15,12 @@ Subcommands
 ``pbe``      run the PBE stress simulator on a mapped circuit;
 ``chaos``    run the resilience fault-matrix drill: one scenario per
              registered fault point, each asserting its documented
-             recovery and bit-identical digests for non-faulted work.
+             recovery and bit-identical digests for non-faulted work;
+``serve``    run the mapping-as-a-service daemon: a JSON job API over
+             a warm worker pool and the persistent cone cache
+             (DESIGN.md §13);
+``cache``    inspect or clear the persistent cross-process cone cache
+             (``--json``, ``--clear``).
 
 Every subcommand honours the ``REPRO_FAULTS`` environment variable
 (a :func:`repro.resilience.plan_from_spec` spec string), which installs
@@ -151,12 +156,17 @@ def _cmd_batch(args) -> int:
 
     flows = args.algorithm or ["soi"]
     runner = BatchRunner(max_workers=args.jobs, timeout_s=args.timeout,
-                         retries=args.retries, use_cache=not args.no_cache)
+                         retries=args.retries, use_cache=not args.no_cache,
+                         store_path=args.store)
     tasks = BatchRunner.sweep_tasks(
         circuits=args.circuits or None, flows=flows,
         cost_models=[_cost_model(args.cost, args.k)],
         config=MapperConfig(kernel=args.kernel))
-    report = runner.run_serial(tasks) if args.serial else runner.run(tasks)
+    try:
+        report = (runner.run_serial(tasks) if args.serial
+                  else runner.run(tasks))
+    finally:
+        runner.close()
 
     if args.trace:
         _export_trace([report.build_trace()], args.trace, quiet=args.json)
@@ -386,6 +396,56 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .pipeline import default_store_path
+    from .service import MappingService, serve
+
+    store = None if args.no_store else (args.store or default_store_path())
+    service = MappingService(max_workers=args.jobs,
+                             store_path=store,
+                             use_cache=not args.no_cache,
+                             max_queued_per_tenant=args.max_queued)
+    print(f"soidomino serve: http://{args.host}:{args.port} "
+          f"(workers={service.pool.width}, "
+          f"store={store or 'disabled'})", file=sys.stderr)
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("soidomino serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .pipeline import CacheStore, default_store_path
+
+    path = args.db or default_store_path()
+    store = CacheStore(path)
+    try:
+        if args.clear:
+            removed = store.clear()
+            print(f"cleared:   {removed} entries from {path}")
+            return 0
+        stats = store.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(stats, indent=1))
+            return 0
+        print(f"store:     {path}")
+        print(f"entries:   {stats['entries']} "
+              f"({stats['size_bytes'] / 1024:.1f} KiB on disk)")
+        print(f"traffic:   {stats['hits']} hits / "
+              f"{stats['hits'] + stats['misses']} requests "
+              f"({100.0 * stats['hit_rate']:.0f}%), "
+              f"{stats['stores']} stores, "
+              f"{stats['evictions']} evictions (cumulative)")
+        return 0
+    finally:
+        store.close()
+
+
 def _cmd_pbe(args) -> int:
     network = _load_network(args.circuit)
     result = map_network(network, flow=args.algorithm)
@@ -457,6 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retries per task on worker failure")
     p_batch.add_argument("--kernel", choices=list(KERNELS), default="auto",
                          help="DP combine kernel for every task")
+    p_batch.add_argument("--store", metavar="PATH", default=None,
+                         help="mount the persistent cone cache at PATH "
+                              "under every worker (see 'soidomino cache')")
     p_batch.add_argument("--no-cache", action="store_true",
                          help="disable the tree-level memoization cache")
     p_batch.add_argument("--serial", action="store_true",
@@ -573,6 +636,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="emit the chaos report as JSON")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the mapping-as-a-service HTTP daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8650)
+    p_serve.add_argument("-j", "--jobs", type=int, default=None,
+                         help="worker-pool width (default: CPU count; "
+                              "1 maps in-process)")
+    p_serve.add_argument("--store", metavar="PATH", default=None,
+                         help="persistent cone-cache sqlite path "
+                              "(default: the per-user cache, see "
+                              "'soidomino cache')")
+    p_serve.add_argument("--no-store", action="store_true",
+                         help="disable the persistent cone cache")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable tree caching entirely")
+    p_serve.add_argument("--max-queued", type=int, default=16,
+                         help="admission quota: queued jobs allowed per "
+                              "tenant before 429")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent cone cache")
+    p_cache.add_argument("--db", metavar="PATH", default=None,
+                         help="store path (default: SOIDOMINO_CACHE_DB "
+                              "or the per-user cache)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="drop every entry and reset counters")
+    p_cache.add_argument("--json", action="store_true",
+                         help="emit the store stats as JSON")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -539,11 +539,13 @@ class MappingEngine:
             raise ResourceLimitError(
                 f"injected resource exhaustion mapping {network.name!r}",
                 stats=self.stats, limit="injected")
+        evictions_before = 0
         if self.cache is not None and self.cache.enabled:
             self.cache.bind_obs(self.tracer, self.metrics)
             self._cache_prefix = (self.config.fingerprint(),
                                   self.model.fingerprint())
             self._signatures = self.cache.signatures(network)
+            evictions_before = self.cache.evictions
         po_drivers = {network.node(p).fanins[0] for p in network.pos}
         for uid in network.node_ids:
             node = network.node(uid)
@@ -557,6 +559,9 @@ class MappingEngine:
             if network.node(uid).type in (NodeType.AND, NodeType.OR):
                 self._process_node(uid)
         self.kernel.finalize()
+        if self.cache is not None and self.cache.enabled:
+            self.stats.cache_evictions += (self.cache.evictions
+                                           - evictions_before)
         return self
 
     def plan(self) -> MappingPlan:

@@ -6,9 +6,14 @@ instrumentation"):
 * :class:`MappingStats` (``metrics.py``) — per-run counters the engine
   fills in and every result surfaces via ``MappingResult.stats``;
 * :class:`TreeCache` (``cache.py``) — memoizes DP tables by fanout-free
-  cone shape + config/cost-model fingerprint, bit-identically;
+  cone shape + config/cost-model fingerprint, bit-identically, with
+  deterministic LRU eviction and an optional persistent second tier;
+* :class:`CacheStore` (``store.py``) — that second tier: a sqlite
+  cross-process cone-template store with checksummed entries;
+* :class:`WorkerPool` (``pool.py``) — warm worker processes whose
+  lifetime spans batches (rebuild-on-hang, retries, backoff);
 * :class:`BatchRunner` (``runner.py``) — fans ``BatchTask`` work-lists
-  across a process pool with timeouts, retries, and serial degradation.
+  across a :class:`WorkerPool` with timeouts and serial degradation.
 
 ``runner`` (and ``cache``'s mapping-facing pieces) import the mapping
 package, which itself imports ``metrics`` — so only ``metrics`` is
@@ -22,6 +27,9 @@ from .metrics import MappingStats
 
 _LAZY = {
     "TreeCache": ("cache", "TreeCache"),
+    "WorkerPool": ("pool", "WorkerPool"),
+    "CacheStore": ("store", "CacheStore"),
+    "default_store_path": ("store", "default_store_path"),
     "BatchTask": ("runner", "BatchTask"),
     "BatchResult": ("runner", "BatchResult"),
     "BatchReport": ("runner", "BatchReport"),

@@ -30,6 +30,26 @@ multi-fanout interior, whose DP view depends on sharing amortization.
 any time) is the correctness-preserving bypass: lookups miss, nothing is
 stored, and mapping proceeds exactly as without a cache.
 
+Residency is bounded and deterministic: entries live in an LRU order
+(storing and hitting an entry both refresh it), and once ``max_entries``
+is reached every new store evicts the least-recently-used entry — so
+which shapes stay resident is a pure function of the lookup sequence,
+never of hash order or timing.  Evictions are counted
+(:attr:`evictions`, with the LRU subset in :attr:`lru_evictions`) and
+surface in :meth:`stats`, in ``MappingStats.cache_evictions``, and in
+the batch report.
+
+A :class:`~repro.pipeline.store.CacheStore` can be attached as a
+persistent second tier (``TreeCache(store=...)``): an in-memory miss
+consults the store under a *stable* key — sha256 of the canonical cone
+shape plus the config/cost-model fingerprints, independent of this
+process's hash-consed signature ids — and a computed table is written
+through.  Store payloads are pickled templates, checksummed by the
+store; a payload that fails to unpickle is evicted as poison.  Because
+templates are bit-identical whichever process computes them, warm state
+survives process pools, daemon restarts, and concurrent writers without
+any cross-process coordination beyond sqlite's.
+
 Entries are integrity-checked: :meth:`TreeCache.put` fingerprints the
 stored template and :meth:`TreeCache.fetch` re-derives the fingerprint
 before instantiating a hit.  A mismatch — memory corruption, or a bug
@@ -45,12 +65,16 @@ so the detection path stays tested.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from ..domino.structure import Leaf, Pulldown
 from ..mapping.tuples import MapTuple, TupleTable
 from ..network import LogicNetwork, NodeType
 from ..resilience.faults import emit_recovery, fire
+from .store import SCHEMA_VERSION, CacheStore
 
 #: Signature id reserved for a primary-input leaf.
 _PI_SIG = 0
@@ -68,22 +92,31 @@ class TreeCache:
     enabled:
         The bypass switch; a disabled cache never hits and never stores.
     max_entries:
-        Storage cap; once reached, new shapes are no longer cached (hits
-        on already-stored shapes keep working).
+        Residency cap; once reached, each new store evicts the
+        least-recently-used entry (deterministic LRU: stores and hits
+        both refresh recency).
+    store:
+        Optional :class:`~repro.pipeline.store.CacheStore` persistent
+        second tier — consulted on in-memory misses, written through on
+        stores, keyed by :meth:`stable_key`.
     """
 
-    def __init__(self, enabled: bool = True, max_entries: int = 200_000):
+    def __init__(self, enabled: bool = True, max_entries: int = 200_000,
+                 store: Optional[CacheStore] = None):
         self.enabled = enabled
         self.max_entries = max_entries
-        self._entries: Dict[tuple, _Template] = {}
+        self.store = store
+        self._entries: "OrderedDict[tuple, _Template]" = OrderedDict()
         self._fingerprints: Dict[tuple, int] = {}
         self._intern: Dict[Tuple[str, int, int], int] = {}
+        self._canon: Dict[int, object] = {_PI_SIG: 0}
         self._next_sig = _PI_SIG + 1
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        self.skipped = 0       #: store attempts dropped (cap or ambiguity)
-        self.evictions = 0     #: entries dropped by integrity validation
+        self.skipped = 0       #: store attempts dropped (ambiguity)
+        self.evictions = 0     #: total entries dropped (integrity + LRU)
+        self.lru_evictions = 0  #: the LRU-capacity subset of evictions
         self._tracer = None
         self._metrics = None
 
@@ -128,7 +161,26 @@ class TreeCache:
             sig = self._next_sig
             self._next_sig += 1
             self._intern[key] = sig
+            # canonical (process-independent) form of the cone shape,
+            # the basis of the persistent store's stable key
+            self._canon[sig] = (node.type.value, self._canon[parts[0]],
+                                self._canon[parts[1]])
         return sig
+
+    def stable_key(self, prefix: tuple, sig: int) -> Optional[str]:
+        """Cross-process identity of one cached cone: sha256 over the
+        canonical shape and the config/cost-model fingerprint prefix.
+
+        Unlike the hash-consed ``sig`` (a small integer private to this
+        cache instance), the stable key is identical in every process
+        that signs the same shape under the same configuration — it is
+        what the persistent :class:`CacheStore` tier is keyed by.
+        """
+        canon = self._canon.get(sig)
+        if canon is None:
+            return None
+        raw = repr(("cone-template", SCHEMA_VERSION, prefix, canon))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -140,6 +192,10 @@ class TreeCache:
             return None
         key = (prefix, sig)
         template = self._entries.get(key)
+        if template is not None:
+            self._entries.move_to_end(key)
+        elif self.store is not None:
+            template = self._fetch_store(key)
         if template is None:
             self.misses += 1
             return None
@@ -179,9 +235,6 @@ class TreeCache:
         key = (prefix, sig)
         if key in self._entries:
             return False
-        if len(self._entries) >= self.max_entries:
-            self.skipped += 1
-            return False
         maps = _subtree_maps(network, uid)
         if maps is None:
             self.skipped += 1
@@ -197,10 +250,54 @@ class TreeCache:
                     return False
                 templated.append(abstract)
             template.append((shape, templated))
+        self._admit(key, template)
+        self.stores += 1
+        if self.store is not None:
+            stable = self.stable_key(prefix, sig)
+            if stable is not None:
+                self.store.put(stable, pickle.dumps(
+                    template, protocol=pickle.HIGHEST_PROTOCOL))
+        return True
+
+    # ------------------------------------------------------------------
+    # residency and the persistent tier
+    # ------------------------------------------------------------------
+    def _admit(self, key: tuple, template: _Template) -> None:
+        """Install one entry, evicting LRU entries to stay under cap."""
+        while len(self._entries) >= self.max_entries:
+            victim, _ = self._entries.popitem(last=False)
+            self._fingerprints.pop(victim, None)
+            self.evictions += 1
+            self.lru_evictions += 1
         self._entries[key] = template
         self._fingerprints[key] = _template_fingerprint(template)
-        self.stores += 1
-        return True
+
+    def _fetch_store(self, key: tuple) -> Optional[_Template]:
+        """Second-tier lookup: load, deserialize and admit a stored
+        template; ``None`` misses.  The store verified the payload
+        checksum already; a payload that still fails to deserialize
+        (stale pickle schema, foreign bytes) is evicted as poison."""
+        prefix, sig = key
+        stable = self.stable_key(prefix, sig)
+        if stable is None:
+            return None
+        payload = self.store.get(stable)
+        if payload is None:
+            return None
+        try:
+            template = pickle.loads(payload)
+            if not isinstance(template, list):
+                raise TypeError(f"expected template list, "
+                                f"got {type(template).__name__}")
+        except Exception:  # noqa: BLE001 - any bad payload is poison
+            self.store.delete(stable, poison=True)
+            emit_recovery("cache_evict",
+                          f"undeserializable store payload for sig {sig}",
+                          tracer=self._tracer, metrics=self._metrics,
+                          sig=sig)
+            return None
+        self._admit(key, template)
+        return template
 
     # ------------------------------------------------------------------
     # accounting
@@ -213,22 +310,29 @@ class TreeCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def stats(self) -> Dict[str, float]:
-        return {
+    def stats(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "skipped": self.skipped,
             "evictions": self.evictions,
+            "lru_evictions": self.lru_evictions,
             "hit_rate": self.hit_rate,
         }
+        if self.store is not None:
+            data["store"] = self.store.stats()
+        return data
 
     def clear(self) -> None:
+        """Reset the in-memory tier (the persistent store, if any, is
+        cleared separately via :meth:`CacheStore.clear`)."""
         self._entries.clear()
         self._fingerprints.clear()
         self.hits = self.misses = self.stores = self.skipped = 0
         self.evictions = 0
+        self.lru_evictions = 0
 
     def __repr__(self) -> str:
         return (f"TreeCache(enabled={self.enabled}, entries={len(self)}, "

@@ -45,6 +45,10 @@ class MappingStats:
     cache_hits, cache_misses:
         Tree-cache outcomes for cache-eligible nodes; both stay zero when
         no cache is attached or the cache is disabled.
+    cache_evictions:
+        Tree-cache entries dropped while this run was mapping — the LRU
+        capacity evictions plus integrity (poison) evictions the run
+        triggered.  Zero for unbounded caches on healthy entries.
     nodes_processed:
         AND/OR nodes the DP visited.
     node_time_s, max_node_time_s:
@@ -72,6 +76,7 @@ class MappingStats:
     gate_formations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     nodes_processed: int = 0
     node_time_s: float = 0.0
     max_node_time_s: float = 0.0

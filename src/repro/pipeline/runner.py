@@ -5,9 +5,10 @@ model, :class:`~repro.mapping.engine.MapperConfig` — by value, so tasks
 pickle across a :class:`concurrent.futures.ProcessPoolExecutor`.
 :class:`BatchRunner` executes a list of them with
 
-* **parallel fan-out** across a process pool (``max_workers`` processes,
-  each owning a private :class:`~repro.pipeline.TreeCache` so repeated
-  tree shapes are mapped once per worker),
+* **parallel fan-out** across a :class:`~repro.pipeline.WorkerPool`
+  (``max_workers`` processes, each owning a private
+  :class:`~repro.pipeline.TreeCache` so repeated tree shapes are mapped
+  once per worker),
 * **per-task timeouts**, **classified retries** with exponential
   backoff and deterministic jitter (only *retryable* infrastructure
   failures — a hung or crashed worker — are resubmitted; deterministic
@@ -40,34 +41,43 @@ and counted in :attr:`BatchReport.runner_metrics`
 :mod:`repro.resilience` (worker crash, task hang, parse failure, ...)
 inject exactly those failures deterministically, so the whole recovery
 surface is testable (``tests/resilience``, ``soidomino chaos``).
+
+**Pool lifetime is decoupled from batch lifetime** (DESIGN.md §13): the
+process-lifecycle half of the old runner lives in
+:class:`~repro.pipeline.WorkerPool` (``pipeline/pool.py``), which stays
+warm across :meth:`BatchRunner.run` calls — a runner reused for several
+batches (or a :mod:`repro.service` daemon serving jobs) keeps worker
+processes, their private caches, and their parsed-network memos
+resident.  A ``BatchRunner`` builds its own pool lazily and owns it
+(close with :meth:`BatchRunner.close` / ``with``), or accepts a shared
+long-lived pool via ``pool=``.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from collections import deque
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..domino.circuit import CircuitCost
 from ..errors import ParseError, WorkerCrashError, is_retryable
 from ..mapping import CostModel, MapperConfig, map_network
 from ..mapping.flows import FLOW_PRESETS
+from ..network import LogicNetwork
 from ..obs import MetricsRegistry, Span, Tracer, stitch
 from ..resilience.faults import (
     FaultPlan,
     active_plan,
     emit_recovery,
     fire,
-    hash_fraction,
     install,
-    install_from_env,
 )
 from .cache import TreeCache
 from .metrics import MappingStats
+from .pool import WorkerPool
+from .store import CacheStore
 
 
 @dataclass(frozen=True)
@@ -225,6 +235,58 @@ def _load_network(source: str):
     return load_circuit(source)
 
 
+#: Per-process memo of parsed/generated networks, so retries of the same
+#: task — and warm-pool re-runs of the same circuit — skip the parse.
+#: Safe because the mapping flow never mutates its input network (every
+#: front-end pass returns a fresh network).  Bounded LRU.
+_NETWORK_MEMO: "OrderedDict[object, LogicNetwork]" = OrderedDict()
+_NETWORK_MEMO_MAX = 256
+_network_memo_hits = 0
+_network_memo_misses = 0
+
+
+def _network_memo_key(source: str):
+    """Memo key for a circuit source; files key on (path, mtime, size)
+    so an edited file re-parses, ``None`` marks unkeyable sources."""
+    if source.endswith((".bench", ".blif", ".pla")):
+        try:
+            stat = os.stat(source)
+        except OSError:
+            return None  # let the loader raise its structured error
+        return (source, stat.st_mtime_ns, stat.st_size)
+    return source
+
+
+def load_network_cached(source: str) -> LogicNetwork:
+    """:func:`_load_network` with the per-process memo in front."""
+    global _network_memo_hits, _network_memo_misses
+    key = _network_memo_key(source)
+    if key is not None and key in _NETWORK_MEMO:
+        _NETWORK_MEMO.move_to_end(key)
+        _network_memo_hits += 1
+        return _NETWORK_MEMO[key]
+    network = _load_network(source)
+    _network_memo_misses += 1
+    if key is not None:
+        _NETWORK_MEMO[key] = network
+        while len(_NETWORK_MEMO) > _NETWORK_MEMO_MAX:
+            _NETWORK_MEMO.popitem(last=False)
+    return network
+
+
+def network_memo_stats() -> Dict[str, int]:
+    """This process's parse-memo counters (observable warmth)."""
+    return {"entries": len(_NETWORK_MEMO), "hits": _network_memo_hits,
+            "misses": _network_memo_misses}
+
+
+def clear_network_memo() -> None:
+    global _network_memo_hits, _network_memo_misses
+    _NETWORK_MEMO.clear()
+    _network_memo_hits = 0
+    _network_memo_misses = 0
+
+
 def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
                  mode: str = "serial", attempt: int = 1) -> BatchResult:
     """Run one task to completion; failures become error results.
@@ -264,7 +326,7 @@ def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
             if fire("parse.fail", task.circuit, tracer, metrics) is not None:
                 raise ParseError("injected parse failure",
                                  filename=task.circuit)
-            network = _load_network(task.circuit)
+            network = load_network_cached(task.circuit)
             result = map_network(network, flow=task.flow,
                                  cost_model=task.cost_model,
                                  config=task.config, cache=cache,
@@ -288,30 +350,21 @@ def execute_task(task: BatchTask, cache: Optional[TreeCache] = None,
                            mode=mode, attempts=attempt)
 
 
-#: Per-worker-process cache, installed by the pool initializer.
-_WORKER_CACHE: Optional[TreeCache] = None
-
-
-def _init_worker(cache_enabled: bool,
-                 plan: Optional[FaultPlan] = None) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = TreeCache() if cache_enabled else None
-    if plan is not None:
-        install(plan)
-    else:
-        install_from_env()
-
-
-def _pool_execute(task: BatchTask, attempt: int = 1) -> BatchResult:
-    return execute_task(task, cache=_WORKER_CACHE, mode="pool",
-                        attempt=attempt)
-
-
 # ---------------------------------------------------------------------------
 # the runner
 # ---------------------------------------------------------------------------
 class BatchRunner:
     """Execute batch mapping tasks, in parallel where possible.
+
+    The runner is a thin *per-batch client* of a long-lived
+    :class:`WorkerPool`: it validates and orders tasks, decides
+    pool-vs-serial, degrades unfinished work, and assembles the
+    :class:`BatchReport` — while the pool owns process lifecycle and
+    stays warm across :meth:`run` calls.  Call :meth:`run` repeatedly on
+    one runner (or share one pool between runners via ``pool=``) and
+    worker processes, their caches, and their parsed-network memos are
+    reused; call :meth:`close` (or use the runner as a context manager)
+    to release the owned pool.
 
     Parameters
     ----------
@@ -340,6 +393,16 @@ class BatchRunner:
     use_cache:
         Attach :class:`TreeCache` memoization — the runner's shared
         cache in serial mode, one private cache per pool worker.
+    store_path:
+        Optional :class:`CacheStore` sqlite path: mounts the persistent
+        cone cache behind the runner's serial cache *and* behind every
+        pool worker's cache, so warm DP state survives processes and
+        restarts.
+    pool:
+        Optional shared :class:`WorkerPool`.  When given, the runner
+        uses it for pooled execution and never closes it (the pool's
+        own width/timeout/retry settings govern); otherwise the runner
+        lazily builds a pool from its own parameters and owns it.
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan` installed for the
         run (parent process and every pool worker).  Default: the
@@ -355,6 +418,8 @@ class BatchRunner:
                  backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 5.0,
                  deadline_s: Optional[float] = None,
+                 store_path: Optional[str] = None,
+                 pool: Optional[WorkerPool] = None,
                  fault_plan: Optional[FaultPlan] = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -370,10 +435,57 @@ class BatchRunner:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.deadline_s = deadline_s
+        self.store_path = store_path
         self.fault_plan = fault_plan
         self.use_cache = use_cache or cache is not None
-        self.cache = cache if cache is not None else (
-            TreeCache() if use_cache else None)
+        self._owned_store: Optional[CacheStore] = None
+        if cache is not None:
+            self.cache = cache
+        elif self.use_cache:
+            if store_path is not None:
+                self._owned_store = CacheStore(store_path)
+            self.cache = TreeCache(store=self._owned_store)
+        else:
+            self.cache = None
+        self._shared_pool = pool
+        self._pool: Optional[WorkerPool] = None
+
+    # -- pool lifetime ----------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The pool this runner would execute on (shared or owned);
+        ``None`` until an owned pool has been built."""
+        return self._shared_pool if self._shared_pool is not None \
+            else self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._shared_pool is not None:
+            return self._shared_pool
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(
+                max_workers=self.max_workers,
+                timeout_s=self.timeout_s,
+                retries=self.retries,
+                backoff_base_s=self.backoff_base_s,
+                backoff_cap_s=self.backoff_cap_s,
+                use_cache=self.use_cache,
+                store_path=self.store_path,
+                fault_plan=self.fault_plan)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the owned pool (a shared ``pool=`` is left alone)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._owned_store is not None:
+            self._owned_store.close()
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- task construction ----------------------------------------------
     @staticmethod
@@ -395,8 +507,15 @@ class BatchRunner:
                 for model in cost_models]
 
     # -- execution -------------------------------------------------------
-    def run(self, tasks: Iterable[BatchTask]) -> BatchReport:
-        """Run every task; the report lists results in task order."""
+    def run(self, tasks: Iterable[BatchTask], *,
+            on_result: Optional[Callable[[int, BatchResult], None]] = None
+            ) -> BatchReport:
+        """Run every task; the report lists results in task order.
+
+        ``on_result(index, result)`` — when given — fires the moment
+        each task's result is accepted (out of task order in pool mode):
+        the progress hook the service's event stream rides on.
+        """
         tasks = list(tasks)
         for task in tasks:
             if task.flow not in FLOW_PRESETS:
@@ -407,66 +526,66 @@ class BatchRunner:
         previous = (install(self.fault_plan)
                     if self.fault_plan is not None else None)
         try:
-            workers = self.max_workers or os.cpu_count() or 1
-            workers = min(workers, max(1, len(tasks)))
-            if workers == 1 or not tasks:
-                report = self._run_serial_list(tasks, started)
+            if self._shared_pool is not None:
+                # a shared long-lived pool: its width governs, and even
+                # single-task batches ride the warm workers
+                pooled = bool(tasks) and self._shared_pool.width > 1
             else:
-                report = self._run_pool(tasks, workers, started)
+                workers = self.max_workers or os.cpu_count() or 1
+                workers = min(workers, max(1, len(tasks)))
+                pooled = workers > 1
+            if pooled:
+                report = self._run_pool(tasks, started, on_result)
+            else:
+                report = self._run_serial_list(tasks, started, on_result)
         finally:
             if self.fault_plan is not None:
                 install(previous)
         report.wall_s = time.perf_counter() - started
         return report
 
-    def run_serial(self, tasks: Iterable[BatchTask]) -> BatchReport:
+    def run_serial(self, tasks: Iterable[BatchTask], *,
+                   on_result: Optional[Callable[[int, BatchResult],
+                                                None]] = None
+                   ) -> BatchReport:
         """Force in-process serial execution (shared cache, no pool)."""
         tasks = list(tasks)
         started = time.perf_counter()
         previous = (install(self.fault_plan)
                     if self.fault_plan is not None else None)
         try:
-            report = self._run_serial_list(tasks, started)
+            report = self._run_serial_list(tasks, started, on_result)
         finally:
             if self.fault_plan is not None:
                 install(previous)
         report.wall_s = time.perf_counter() - started
         return report
 
-    def _run_serial_list(self, tasks: List[BatchTask],
-                         started: float) -> BatchReport:
+    def _run_serial_list(self, tasks: List[BatchTask], started: float,
+                         on_result: Optional[Callable[[int, BatchResult],
+                                                      None]] = None
+                         ) -> BatchReport:
         """In-process execution honouring the batch deadline budget."""
         deadline = (started + self.deadline_s
                     if self.deadline_s is not None else None)
         metrics = MetricsRegistry()
         events: List[Dict[str, object]] = []
         results: List[BatchResult] = []
-        for task in tasks:
+        for index, task in enumerate(tasks):
             if deadline is not None and time.perf_counter() >= deadline:
-                results.append(self._deadline_result(task, attempts=0))
+                result = self._deadline_result(task, attempts=0)
                 self._record(events, metrics, started, "deadline_abandon",
                              task=task.label,
                              detail=f"budget {self.deadline_s}s expired")
-                continue
-            results.append(execute_task(task, cache=self.cache))
+            else:
+                result = execute_task(task, cache=self.cache)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
         return BatchReport(results=results, mode="serial", events=events,
                            runner_metrics=metrics)
 
-    # -- pool internals --------------------------------------------------
-    def _make_pool(self, workers: int,
-                   plan: Optional[FaultPlan]) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=workers,
-                                   initializer=_init_worker,
-                                   initargs=(self.use_cache, plan))
-
-    def _backoff_s(self, label: str, attempt: int, seed: int) -> float:
-        """Deterministic-jitter exponential backoff before retry
-        ``attempt + 1`` of the task labelled ``label``."""
-        base = min(self.backoff_cap_s,
-                   self.backoff_base_s * (2.0 ** max(0, attempt - 1)))
-        jitter = 0.5 + hash_fraction(seed, "backoff", f"{label}#{attempt}")
-        return base * jitter
-
+    # -- pool delegation -------------------------------------------------
     def _deadline_result(self, task: BatchTask,
                          attempts: int) -> BatchResult:
         return BatchResult(
@@ -484,143 +603,26 @@ class BatchRunner:
         events.append(event)
         emit_recovery(kind, str(fields_.get("detail", "")), metrics=metrics)
 
-    def _run_pool(self, tasks: List[BatchTask], workers: int,
-                  started: float) -> BatchReport:
+    def _run_pool(self, tasks: List[BatchTask], started: float,
+                  on_result: Optional[Callable[[int, BatchResult],
+                                               None]] = None
+                  ) -> BatchReport:
+        """Delegate one batch to the (warm) :class:`WorkerPool`, then
+        degrade whatever the pool handed back unfinished."""
         plan = (self.fault_plan if self.fault_plan is not None
                 else active_plan())
-        seed = plan.seed if plan is not None else 0
         deadline = (started + self.deadline_s
                     if self.deadline_s is not None else None)
         metrics = MetricsRegistry()
         events: List[Dict[str, object]] = []
-        results: Dict[int, BatchResult] = {}
-        attempts = dict.fromkeys(range(len(tasks)), 0)
-        pool = self._make_pool(workers, plan)
-        inflight: Deque[Tuple[int, object]] = deque()
-        scheduled: List[Tuple[float, int]] = []  # (ready_at, index)
 
-        def submit(index: int, count_attempt: bool = True) -> None:
-            if count_attempt:
-                attempts[index] += 1
-            inflight.append((index, pool.submit(_pool_execute, tasks[index],
-                                                attempts[index])))
+        def record(kind: str, **fields_) -> None:
+            self._record(events, metrics, started, kind, **fields_)
 
-        def schedule_retry(index: int, reason: str) -> None:
-            delay = self._backoff_s(tasks[index].label, attempts[index],
-                                    seed)
-            scheduled.append((time.perf_counter() + delay, index))
-            self._record(events, metrics, started, "retry",
-                         task=tasks[index].label, detail=reason,
-                         attempt=attempts[index], backoff_s=round(delay, 4))
-
-        def rebuild_pool(reason: str, victim: Optional[int] = None) -> None:
-            # cancel() is a no-op on running futures, so a hung or dead
-            # worker would keep its slot forever; replacing the whole
-            # pool is the only way to guarantee retries real capacity.
-            nonlocal pool
-            resubmit: List[int] = []
-            for i, f in list(inflight):
-                if i == victim:
-                    continue
-                if f.done() and not f.cancelled() and f.exception() is None:
-                    result = f.result()
-                    result.attempts = attempts[i]
-                    results[i] = result
-                else:
-                    f.cancel()
-                    resubmit.append(i)
-            inflight.clear()
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = self._make_pool(workers, plan)
-            for i in resubmit:
-                submit(i, count_attempt=False)
-            self._record(events, metrics, started, "pool_rebuild",
-                         detail=reason, resubmitted=len(resubmit))
-
-        try:
-            for i in range(len(tasks)):
-                submit(i)
-            while inflight or scheduled:
-                now = time.perf_counter()
-                if deadline is not None and now >= deadline:
-                    break
-                if scheduled:
-                    due = [e for e in scheduled if e[0] <= now]
-                    if due:
-                        scheduled = [e for e in scheduled if e[0] > now]
-                        for _, i in due:
-                            submit(i)
-                if not inflight:
-                    # everything left is waiting out its backoff
-                    wake = min(ready for ready, _ in scheduled)
-                    if deadline is not None:
-                        wake = min(wake, deadline)
-                    pause = wake - time.perf_counter()
-                    if pause > 0:
-                        time.sleep(pause)
-                    continue
-                index, future = inflight.popleft()
-                timeout = self.timeout_s
-                if deadline is not None:
-                    remaining = deadline - time.perf_counter()
-                    if remaining <= 0:
-                        inflight.appendleft((index, future))
-                        break
-                    timeout = (remaining if timeout is None
-                               else min(timeout, remaining))
-                try:
-                    result = future.result(timeout=timeout)
-                except FuturesTimeoutError:
-                    if (deadline is not None
-                            and time.perf_counter() >= deadline
-                            and (self.timeout_s is None
-                                 or timeout < self.timeout_s)):
-                        # the *batch* budget cut this wait short, not
-                        # the per-task timeout: let the deadline path
-                        # account for the task
-                        inflight.appendleft((index, future))
-                        break
-                    future.cancel()
-                    rebuild_pool(f"task {tasks[index].label} exceeded "
-                                 f"timeout {self.timeout_s}s",
-                                 victim=index)
-                    if attempts[index] <= self.retries:
-                        schedule_retry(index, "per-task timeout")
-                    # else: left unfinished -> serial fallback below
-                    continue
-                except BrokenExecutor as exc:
-                    rebuild_pool(f"pool broke under {tasks[index].label}: "
-                                 f"{type(exc).__name__}", victim=index)
-                    if attempts[index] <= self.retries:
-                        schedule_retry(
-                            index, f"worker died: {type(exc).__name__}")
-                    # else: left unfinished -> serial fallback below
-                    continue
-                except Exception as exc:  # noqa: BLE001 - classified below
-                    if is_retryable(exc):
-                        if attempts[index] <= self.retries:
-                            schedule_retry(
-                                index, f"{type(exc).__name__}: {exc}")
-                        # else: retries exhausted -> serial fallback
-                        continue
-                    # deterministic task failure (parse/pickling/...):
-                    # retrying or falling back would reproduce it
-                    results[index] = BatchResult(
-                        task=tasks[index],
-                        error=f"{type(exc).__name__}: {exc}",
-                        mode="pool", attempts=attempts[index])
-                    self._record(events, metrics, started, "fail_fast",
-                                 task=tasks[index].label,
-                                 detail=f"{type(exc).__name__}: {exc}")
-                    continue
-                result.attempts = attempts[index]
-                results[index] = result
-        except (BrokenExecutor, OSError):
-            # the pool itself died and could not be rebuilt: everything
-            # unfinished degrades to the serial path below
-            pass
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        pool = self._ensure_pool()
+        results, attempts = pool.run_tasks(
+            tasks, deadline=deadline, plan=plan, record=record,
+            on_result=on_result)
 
         deadline_hit = (deadline is not None
                         and time.perf_counter() >= deadline)
@@ -631,18 +633,18 @@ class BatchRunner:
             if deadline_hit:
                 results[index] = self._deadline_result(
                     task, attempts=attempts[index])
-                self._record(events, metrics, started, "deadline_abandon",
-                             task=task.label,
-                             detail=f"budget {self.deadline_s}s expired")
-                continue
-            self._record(events, metrics, started, "serial_fallback",
-                         task=task.label,
-                         detail=f"after {attempts[index]} pool attempts")
-            result = execute_task(task, cache=self.cache,
-                                  mode="serial-fallback",
-                                  attempt=attempts[index] + 1)
-            result.attempts = max(1, attempts[index])
-            results[index] = result
+                record("deadline_abandon", task=task.label,
+                       detail=f"budget {self.deadline_s}s expired")
+            else:
+                record("serial_fallback", task=task.label,
+                       detail=f"after {attempts[index]} pool attempts")
+                result = execute_task(task, cache=self.cache,
+                                      mode="serial-fallback",
+                                      attempt=attempts[index] + 1)
+                result.attempts = max(1, attempts[index])
+                results[index] = result
+            if on_result is not None:
+                on_result(index, results[index])
         return BatchReport(results=[results[i] for i in range(len(tasks))],
                            mode="pool", events=events,
                            runner_metrics=metrics)

@@ -1,0 +1,309 @@
+"""Persistent cross-process cone cache: the :class:`TreeCache` second tier.
+
+:class:`CacheStore` is a sqlite-backed key/value store for templated DP
+tables.  Keys are *stable* cone identities — a sha256 over the canonical
+cone shape plus the :class:`~repro.mapping.engine.MapperConfig` and cost-
+model fingerprints (see :meth:`TreeCache.stable_key`) — so entries
+written by one process (or one daemon lifetime) are valid in any other:
+the hash-consed small-integer signatures :class:`TreeCache` uses
+in-memory never leak into the store.
+
+Every entry is checksummed: :meth:`put` stores ``sha256(payload)``
+alongside the payload and :meth:`get` re-derives it before returning the
+bytes.  A mismatch — a torn write, disk corruption, a foreign writer —
+is *poison* exactly as in the in-memory tier (DESIGN.md §11): the row is
+deleted, the lookup reports a miss (the DP recomputes, which is always
+correct), and the eviction is counted.  Unpicklable or stale-schema
+payloads are handled the same way by the caller (:meth:`TreeCache.fetch`).
+
+Concurrency: the store is written by every pool worker and read by the
+parent, so the connection runs in WAL mode with a busy timeout, writes
+are single-statement transactions, and inserts are first-writer-wins
+(``INSERT OR IGNORE``) — the same determinism contract as the in-memory
+tier, where whichever process computes a shape first defines the stored
+template (all of them compute bit-identical templates by construction).
+Connections are opened lazily per process: a :class:`CacheStore` object
+that crosses a ``fork`` reopens rather than sharing the parent's handle.
+
+A sqlite failure must never fail a mapping: every operation degrades to
+a miss / no-op and bumps the ``errors`` counter instead of raising.
+
+Cumulative counters (hits / misses / stores / evictions) are persisted
+in the database itself, so ``soidomino cache`` reports totals across
+every process and daemon restart that ever touched the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sqlite3
+import threading
+import time
+from typing import Dict, Optional
+
+#: Bump when the entry payload format (pickled template schema) changes;
+#: stores written under another version are cleared on open.
+SCHEMA_VERSION = 1
+
+_COUNTERS = ("hits", "misses", "stores", "evictions")
+
+
+def default_store_path() -> str:
+    """Where the persistent cone cache lives unless overridden.
+
+    ``SOIDOMINO_CACHE_DB`` wins; otherwise a per-user cache path.
+    """
+    env = os.environ.get("SOIDOMINO_CACHE_DB")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME",
+                          os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "soidomino", "cones.sqlite")
+
+
+class CacheStore:
+    """Checksummed sqlite key/value store for templated DP tables.
+
+    Parameters
+    ----------
+    path:
+        Database file; parent directories are created on first open.
+        ``":memory:"`` is supported for tests (single-process only).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid: Optional[int] = None
+        #: session-local (this process, this object) op counters
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # connection / schema
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        """The process-local connection, (re)opened after a fork."""
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            if self._conn is not None and self._pid == pid:
+                self._conn.close()
+            if self.path != ":memory:":
+                parent = os.path.dirname(os.path.abspath(self.path))
+                os.makedirs(parent, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0,
+                                   check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            self._init_schema(conn)
+            self._conn = conn
+            self._pid = pid
+        return self._conn
+
+    @staticmethod
+    def _init_schema(conn: sqlite3.Connection) -> None:
+        with conn:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT)")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " key TEXT PRIMARY KEY,"
+                " payload BLOB NOT NULL,"
+                " checksum TEXT NOT NULL,"
+                " created_s REAL NOT NULL,"
+                " last_used_s REAL NOT NULL,"
+                " hits INTEGER NOT NULL DEFAULT 0)")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS counters ("
+                " name TEXT PRIMARY KEY, value INTEGER NOT NULL)")
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)))
+            elif row[0] != str(SCHEMA_VERSION):
+                # a store written by an incompatible payload schema:
+                # templates would not unpickle meaningfully — start over
+                conn.execute("DELETE FROM entries")
+                conn.execute("DELETE FROM counters")
+                conn.execute(
+                    "UPDATE meta SET value=? WHERE key='schema_version'",
+                    (str(SCHEMA_VERSION),))
+
+    def _bump(self, conn: sqlite3.Connection, name: str,
+              amount: int = 1) -> None:
+        conn.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + ?",
+            (name, amount, amount))
+
+    # ------------------------------------------------------------------
+    # key/value operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def checksum(payload: bytes) -> str:
+        return hashlib.sha256(payload).hexdigest()
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Fetch and integrity-check one payload; ``None`` on miss.
+
+        A checksum mismatch deletes the row (poison eviction) and
+        reports a miss.
+        """
+        try:
+            with self._lock:
+                conn = self._connect()
+                row = conn.execute(
+                    "SELECT payload, checksum FROM entries WHERE key=?",
+                    (key,)).fetchone()
+                if row is None:
+                    self.misses += 1
+                    with conn:
+                        self._bump(conn, "misses")
+                    return None
+                payload, stored_sum = row
+                payload = bytes(payload)
+                if self.checksum(payload) != stored_sum:
+                    self.evictions += 1
+                    self.misses += 1
+                    with conn:
+                        conn.execute("DELETE FROM entries WHERE key=?",
+                                     (key,))
+                        self._bump(conn, "evictions")
+                        self._bump(conn, "misses")
+                    return None
+                self.hits += 1
+                with conn:
+                    conn.execute(
+                        "UPDATE entries SET last_used_s=?, hits=hits+1 "
+                        "WHERE key=?", (time.time(), key))
+                    self._bump(conn, "hits")
+                return payload
+        except sqlite3.Error:
+            self.errors += 1
+            return None
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Store one payload (first writer wins); True if inserted."""
+        try:
+            with self._lock:
+                conn = self._connect()
+                now = time.time()
+                with conn:
+                    cursor = conn.execute(
+                        "INSERT OR IGNORE INTO entries "
+                        "(key, payload, checksum, created_s, last_used_s) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (key, payload, self.checksum(payload), now, now))
+                    if cursor.rowcount:
+                        self._bump(conn, "stores")
+                if cursor.rowcount:
+                    self.stores += 1
+                    return True
+                return False
+        except sqlite3.Error:
+            self.errors += 1
+            return False
+
+    def delete(self, key: str, *, poison: bool = False) -> None:
+        """Drop one entry; ``poison=True`` also counts an eviction
+        (used by the caller when a checksum-valid payload fails to
+        deserialize — stale pickle schema, foreign bytes)."""
+        try:
+            with self._lock:
+                conn = self._connect()
+                with conn:
+                    conn.execute("DELETE FROM entries WHERE key=?", (key,))
+                    if poison:
+                        self._bump(conn, "evictions")
+                if poison:
+                    self.evictions += 1
+        except sqlite3.Error:
+            self.errors += 1
+
+    # ------------------------------------------------------------------
+    # accounting / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        try:
+            with self._lock:
+                conn = self._connect()
+                return conn.execute(
+                    "SELECT COUNT(*) FROM entries").fetchone()[0]
+        except sqlite3.Error:
+            self.errors += 1
+            return 0
+
+    def size_bytes(self) -> int:
+        """Size on disk (main file + WAL sidecars, when present)."""
+        if self.path == ":memory:":
+            return 0
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> Dict[str, object]:
+        """Cross-process cumulative counters plus this-session ones."""
+        cumulative = dict.fromkeys(_COUNTERS, 0)
+        entries = 0
+        try:
+            with self._lock:
+                conn = self._connect()
+                for name, value in conn.execute(
+                        "SELECT name, value FROM counters"):
+                    if name in cumulative:
+                        cumulative[name] = value
+                entries = conn.execute(
+                    "SELECT COUNT(*) FROM entries").fetchone()[0]
+        except sqlite3.Error:
+            self.errors += 1
+        requests = cumulative["hits"] + cumulative["misses"]
+        return {
+            "path": self.path,
+            "entries": entries,
+            "size_bytes": self.size_bytes(),
+            "hit_rate": cumulative["hits"] / requests if requests else 0.0,
+            **cumulative,
+            "session": {"hits": self.hits, "misses": self.misses,
+                        "stores": self.stores, "evictions": self.evictions,
+                        "errors": self.errors},
+        }
+
+    def clear(self) -> int:
+        """Drop every entry and reset the cumulative counters; returns
+        the number of entries removed."""
+        try:
+            with self._lock:
+                conn = self._connect()
+                with conn:
+                    removed = conn.execute(
+                        "SELECT COUNT(*) FROM entries").fetchone()[0]
+                    conn.execute("DELETE FROM entries")
+                    conn.execute("DELETE FROM counters")
+                conn.execute("VACUUM")
+                return removed
+        except sqlite3.Error:
+            self.errors += 1
+            return 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+            self._pid = None
+
+    def __repr__(self) -> str:
+        return f"CacheStore(path={self.path!r})"

@@ -1,0 +1,56 @@
+"""Mapping-as-a-service: the daemon layer over the batch pipeline.
+
+``soidomino serve`` exposes the warm :class:`~repro.pipeline.WorkerPool`
++ persistent :class:`~repro.pipeline.CacheStore` stack as a small JSON
+HTTP API (DESIGN.md §13):
+
+* :mod:`repro.service.jobs` — job specs/states and the fair per-tenant
+  priority queue with admission quotas;
+* :mod:`repro.service.core` — :class:`MappingService`: one warm pool,
+  one persistent store, a one-job-at-a-time scheduler, cumulative
+  metrics, and the typed error contract;
+* :mod:`repro.service.server` — the asyncio HTTP front end
+  (submit/status/result, NDJSON event streaming, live ``/metrics``);
+* :mod:`repro.service.client` — a stdlib blocking client;
+* :mod:`repro.service.smoke` — the end-to-end drill CI runs: daemon
+  up, sweep over HTTP, digest parity with ``soidomino batch``, warm
+  resubmission, restart-and-reuse of the persistent store.
+
+Jobs map bit-identically to the CLI: a spec compiles to the same task
+list ``soidomino batch`` builds, and the pool/caches preserve digest
+determinism by construction.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "Job": ("jobs", "Job"),
+    "JobQueue": ("jobs", "JobQueue"),
+    "JobSpec": ("jobs", "JobSpec"),
+    "JobSpecError": ("jobs", "JobSpecError"),
+    "QuotaExceededError": ("jobs", "QuotaExceededError"),
+    "MappingService": ("core", "MappingService"),
+    "error_payload": ("core", "error_payload"),
+    "ServiceServer": ("server", "ServiceServer"),
+    "serve": ("server", "serve"),
+    "start_in_thread": ("server", "start_in_thread"),
+    "ServiceClient": ("client", "ServiceClient"),
+    "ServiceError": ("client", "ServiceError"),
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), attr)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,135 @@
+"""Minimal blocking HTTP client for the mapping service.
+
+Built on :mod:`http.client` so tests, the smoke driver and operator
+scripts need no third-party HTTP stack.  Every call opens one
+connection (the server is ``Connection: close``) and raises
+:class:`ServiceError` — carrying the server's typed error payload —
+on any non-2xx response.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A non-2xx response; ``payload`` holds the typed error body."""
+
+    def __init__(self, status: int, payload: Dict[str, object]):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        super().__init__(f"HTTP {status}: {error.get('type', 'unknown')}: "
+                         f"{error.get('message', payload)}")
+        self.status = status
+        self.payload = payload
+        self.retryable = bool(error.get("retryable", status == 429))
+
+
+class ServiceClient:
+    """Talk to one ``soidomino serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8650,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[object] = None) -> Dict[str, object]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            data = (json.dumps(body).encode("utf-8")
+                    if body is not None else None)
+            conn.request(method, path, body=data,
+                         headers={"Content-Type": "application/json"}
+                         if data else {})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    payload = json.loads(raw)
+                except ValueError:
+                    payload = {"error": {"message": raw.decode("utf-8",
+                                                               "replace")}}
+                raise ServiceError(response.status, payload)
+            return json.loads(raw) if raw else {}
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # the API
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   {"error": {"message": raw.decode()}})
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        """POST one job spec; returns the job status (with ``id``)."""
+        return self._request("POST", "/v1/jobs", body=spec)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll until the job is terminal; returns the result body."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(408, {"error": {
+                    "type": "Timeout", "retryable": True,
+                    "message": f"job {job_id} still {status['state']} "
+                               f"after {timeout}s"}})
+            time.sleep(poll_s)
+
+    def events(self, job_id: str, since: int = 0,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, object]]:
+        """Stream the job's NDJSON events until the server closes."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(response.status, json.loads(
+                    response.read()))
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,272 @@
+"""The mapping service: a warm pool and a fair queue behind an API.
+
+:class:`MappingService` is the long-lived object a daemon (or a test)
+holds: one :class:`~repro.pipeline.WorkerPool` kept warm for the
+process lifetime, one :class:`~repro.pipeline.CacheStore` persistent
+cone cache under every worker (and under the in-process fallback
+cache), and one :class:`~repro.service.jobs.JobQueue` deciding which
+tenant's job runs next.
+
+Jobs execute **one at a time**: the scheduler coroutine awaits the
+queue and pushes each job's batch through the warm pool in a worker
+thread (``asyncio.to_thread``), so the event loop — and therefore
+status queries, event streams and ``/metrics`` — stays responsive while
+a sweep runs.  Per-task completions are bridged back onto the loop with
+``call_soon_threadsafe`` and appended to the job's event log, which is
+what ``GET /v1/jobs/{id}/events`` streams.
+
+Results carry *warmth evidence*: alongside the standard batch report
+(bit-identical digests to ``soidomino batch`` by construction), each
+job reports the runner's tree-cache stats (with the persistent-store
+tier), the parsed-network memo, and the pool's build/run counters — so
+a client can see that its second submission hit a warm pool and a
+primed cache.
+
+Failures follow the resilience taxonomy: :func:`error_payload` renders
+any exception as the service's typed error contract
+(``{type, message, retryable, kind}``), with :class:`ReproError`
+subclasses keeping their classification (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import re
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ReproError, is_retryable
+from ..obs import MetricsRegistry, batch_report
+from ..pipeline import BatchRunner, WorkerPool
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    JobSpec,
+)
+
+
+def error_payload(exc: BaseException) -> Dict[str, object]:
+    """The service's typed error contract for any exception."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "retryable": is_retryable(exc),
+        "kind": ("repro" if isinstance(exc, ReproError) else "internal"),
+    }
+
+
+class MappingService:
+    """Mapping-as-a-service: submit sweeps, stream progress, reuse warmth.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width for every job; ``1`` maps in-process (no pool).
+    store_path:
+        Persistent :class:`~repro.pipeline.CacheStore` path mounted
+        under every worker cache; ``None`` disables the second tier.
+    use_cache:
+        Attach tree caches at all (workers and in-process fallback).
+    max_queued_per_tenant:
+        Admission quota forwarded to :class:`JobQueue`.
+    keep_jobs:
+        Finished jobs retained for status/result queries (oldest
+        finished jobs are dropped beyond this).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 store_path: Optional[str] = None,
+                 use_cache: bool = True,
+                 max_queued_per_tenant: int = 16,
+                 keep_jobs: int = 256):
+        self.queue = JobQueue(max_queued_per_tenant=max_queued_per_tenant)
+        self.jobs: Dict[str, Job] = {}
+        self.keep_jobs = keep_jobs
+        self.started_s = time.time()
+        self.pool = WorkerPool(max_workers=max_workers, use_cache=use_cache,
+                               store_path=store_path)
+        self.runner = BatchRunner(
+            max_workers=max_workers, use_cache=use_cache,
+            store_path=store_path,
+            pool=self.pool if self.pool.width > 1 else None)
+        #: cumulative mapping counters across every finished job — the
+        #: live ``/metrics`` endpoint merges this with service counters
+        self._mapping_metrics = MetricsRegistry()
+        self._service_metrics = MetricsRegistry()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # job lifecycle (event-loop side)
+    # ------------------------------------------------------------------
+    def submit(self, payload: object) -> Job:
+        """Validate and enqueue one job (raises JobSpecError / Quota…)."""
+        if self._closing:
+            raise ReproError("service is shutting down")
+        spec = JobSpec.from_payload(payload)
+        job = Job(spec=spec)
+        self.queue.push(job)  # may raise QuotaExceededError
+        self.jobs[job.id] = job
+        job.add_event("state", state=QUEUED, tenant=spec.tenant)
+        self._count("submitted", tenant=spec.tenant)
+        self._trim_finished()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a *queued* job (running jobs finish their batch)."""
+        job = self.jobs[job_id]
+        if job.state == QUEUED:
+            job.state = CANCELLED
+            job.finished_s = time.time()
+            job.add_event("state", state=CANCELLED)
+            self._count("cancelled", tenant=job.spec.tenant)
+        return job
+
+    def _trim_finished(self) -> None:
+        finished = [j for j in self.jobs.values() if j.finished]
+        excess = len(finished) - self.keep_jobs
+        if excess > 0:
+            finished.sort(key=lambda j: j.finished_s or 0.0)
+            for job in finished[:excess]:
+                self.jobs.pop(job.id, None)
+
+    def _count(self, what: str, tenant: str = "default") -> None:
+        self._service_metrics.counter(
+            f"repro_service_jobs_{what}_total",
+            f"jobs {what} since service start").inc()
+        safe = re.sub(r"[^A-Za-z0-9_]", "_", tenant)
+        self._service_metrics.counter(
+            f"repro_service_tenant_{safe}_jobs_{what}_total",
+            f"jobs {what} for tenant {tenant}").inc()
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+    async def scheduler(self) -> None:
+        """Run queued jobs one at a time until cancelled."""
+        self._loop = asyncio.get_running_loop()
+        while True:
+            job = await self.queue.get()
+            job.state = RUNNING
+            job.started_s = time.time()
+            job.add_event("state", state=RUNNING)
+            try:
+                result = await asyncio.to_thread(self._run_job, job)
+            except Exception as exc:  # noqa: BLE001 - typed error contract
+                job.state = FAILED
+                job.error = error_payload(exc)
+                job.add_event("state", state=FAILED, error=job.error)
+                self._count("failed", tenant=job.spec.tenant)
+            else:
+                job.result = result
+                job.state = DONE if not result.get("failures") else FAILED
+                if job.state == FAILED:
+                    job.error = {
+                        "type": "BatchTaskError",
+                        "message": "; ".join(result["failures"]),
+                        "retryable": False, "kind": "repro"}
+                job.add_event("state", state=job.state)
+                self._count("done" if job.state == DONE else "failed",
+                            tenant=job.spec.tenant)
+            finally:
+                job.finished_s = time.time()
+
+    def start(self) -> None:
+        """Launch the scheduler on the running loop (idempotent)."""
+        if self._scheduler_task is None or self._scheduler_task.done():
+            self._scheduler_task = asyncio.get_running_loop().create_task(
+                self.scheduler())
+
+    async def aclose(self) -> None:
+        self._closing = True
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        self.close()
+
+    def close(self) -> None:
+        self._closing = True
+        self.runner.close()
+        self.pool.close()
+
+    # ------------------------------------------------------------------
+    # job execution (worker-thread side)
+    # ------------------------------------------------------------------
+    def _emit(self, job: Job, kind: str, **fields_) -> None:
+        """Append a job event from the worker thread, loop-safely."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(
+                functools.partial(job.add_event, kind, **fields_))
+        else:  # direct (test) use without a loop
+            job.add_event(kind, **fields_)
+
+    def _run_job(self, job: Job) -> Dict[str, object]:
+        """Execute one job's batch on the warm pool; returns the result
+        payload.  Runs in a worker thread."""
+        tasks = job.spec.tasks()
+        total = len(tasks)
+
+        def on_result(index: int, result) -> None:
+            self._emit(job, "task_done", index=index,
+                       label=result.task.label, ok=result.ok,
+                       digest=result.digest,
+                       attempts=result.attempts, total=total)
+
+        report = self.runner.run(tasks, on_result=on_result)
+        self._mapping_metrics.merge(report.total_metrics())
+        payload = batch_report(report, cost_objective=job.spec.cost)
+        payload["job"] = {"id": job.id, "tenant": job.spec.tenant}
+        payload["failures"] = [f"{r.task.label}: {r.error}"
+                               for r in report.failures]
+        payload["cache"] = self.warmth()
+        return payload
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def warmth(self) -> Dict[str, object]:
+        """Evidence of reuse: pool, tree-cache/store and memo counters."""
+        from ..pipeline.runner import network_memo_stats
+
+        return {
+            "pool": {"width": self.pool.width, "warm": self.pool.warm,
+                     "pools_built": self.pool.pools_built,
+                     "rebuilds": self.pool.rebuilds,
+                     "runs": self.pool.runs},
+            "tree_cache": (self.runner.cache.stats()
+                           if self.runner.cache is not None else None),
+            "network_memo": network_memo_stats(),
+        }
+
+    def counts(self) -> Dict[str, int]:
+        by_state: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return by_state
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Everything ``/metrics`` exposes: cumulative mapping counters
+        from every job plus service-level counters and gauges."""
+        merged = MetricsRegistry()
+        merged.merge(self._mapping_metrics)
+        merged.merge(self._service_metrics)
+        merged.gauge("repro_service_jobs_queued",
+                     "jobs waiting in the fair queue").set(len(self.queue))
+        merged.gauge("repro_service_uptime_seconds",
+                     "seconds since service start").set(
+            time.time() - self.started_s)
+        merged.gauge("repro_service_pool_warm",
+                     "1 when a live worker pool is resident").set(
+            1 if self.pool.warm else 0)
+        return merged

@@ -1,0 +1,347 @@
+"""Stdlib asyncio HTTP front end for :class:`MappingService`.
+
+A deliberately small HTTP/1.1 server on ``asyncio`` streams — the
+container ships no aiohttp, and the API is six routes:
+
+========  ==========================  =====================================
+method    path                        body
+========  ==========================  =====================================
+GET       ``/healthz``                liveness + job counts
+GET       ``/metrics``                Prometheus text exposition (live)
+POST      ``/v1/jobs``                submit a job (JSON spec) → 202
+GET       ``/v1/jobs``                list job statuses
+GET       ``/v1/jobs/{id}``           one job's status
+GET       ``/v1/jobs/{id}/result``    the finished job's full payload
+GET       ``/v1/jobs/{id}/events``    NDJSON progress stream (``?since=N``)
+DELETE    ``/v1/jobs/{id}``           cancel (queued jobs only)
+========  ==========================  =====================================
+
+Error contract: every failure body is ``{"error": {type, message,
+retryable, kind}}`` (:func:`~repro.service.core.error_payload`), with
+status 400 for invalid specs, 404 for unknown jobs, 429 for tenant
+quota (``retryable: true``), 503 while shutting down and 500 for
+anything unexpected.  The events route streams each event as one JSON
+line the moment it is appended and closes after the terminal state
+event; ``?since=N`` resumes from sequence number ``N``.
+
+Connections are one-request (``Connection: close``): clients poll or
+stream, they do not pipeline.  :func:`start_in_thread` runs the whole
+loop+server in a daemon thread and returns a handle with the bound
+port — the harness tests and the smoke driver use it, while
+``soidomino serve`` runs :func:`serve` on the main thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ReproError
+from ..obs import prometheus_text
+from .core import MappingService, error_payload
+from .jobs import CANCELLED, JobSpecError, QuotaExceededError
+
+_MAX_BODY = 4 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: carry a status + payload to the response writer."""
+
+    def __init__(self, status: int, payload: Dict[str, object]):
+        super().__init__(payload.get("error", {}).get("message", ""))
+        self.status = status
+        self.payload = payload
+
+
+def _error(status: int, exc: BaseException) -> _HttpError:
+    return _HttpError(status, {"error": error_payload(exc)})
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def _response(status: int, body: bytes,
+              content_type: str = "application/json") -> bytes:
+    reason = _REASONS.get(status, "")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: object) -> bytes:
+    return _response(status, json.dumps(payload).encode("utf-8"))
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request; ``None`` on a closed/garbage connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        return None
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > _MAX_BODY:
+        return None
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+class ServiceServer:
+    """One :class:`MappingService` behind the HTTP API above."""
+
+    def __init__(self, service: MappingService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves ``port`` when it was 0."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, target, _headers, body = request
+            split = urlsplit(target)
+            path = split.path.rstrip("/") or "/"
+            query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+            try:
+                await self._route(method, path, query, body, writer)
+            except _HttpError as exc:
+                writer.write(_json_response(exc.status, exc.payload))
+            except Exception as exc:  # noqa: BLE001 - 500 contract
+                writer.write(_json_response(500, {"error":
+                                                  error_payload(exc)}))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _job(self, job_id: str):
+        try:
+            return self.service.jobs[job_id]
+        except KeyError:
+            raise _error(404, ReproError(f"unknown job {job_id!r}")) \
+                from None
+
+    async def _route(self, method: str, path: str, query: Dict[str, str],
+                     body: bytes, writer: asyncio.StreamWriter) -> None:
+        if path == "/healthz" and method == "GET":
+            writer.write(_json_response(200, {
+                "status": "ok", "jobs": self.service.counts(),
+                "queued": len(self.service.queue),
+                "warmth": self.service.warmth()}))
+            return
+        if path == "/metrics" and method == "GET":
+            text = prometheus_text(self.service.metrics_registry())
+            writer.write(_response(
+                200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4"))
+            return
+        if path == "/v1/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else None
+            except ValueError as exc:
+                raise _error(400, JobSpecError(
+                    f"request body is not valid JSON: {exc}")) from None
+            try:
+                job = self.service.submit(payload)
+            except JobSpecError as exc:
+                raise _error(400, exc) from None
+            except QuotaExceededError as exc:
+                raise _error(429, exc) from None
+            except ReproError as exc:
+                raise _error(503, exc) from None
+            writer.write(_json_response(202, job.status()))
+            return
+        if path == "/v1/jobs" and method == "GET":
+            writer.write(_json_response(200, {
+                "jobs": [job.status()
+                         for job in self.service.jobs.values()]}))
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            if not tail and method == "GET":
+                writer.write(_json_response(200, self._job(job_id).status()))
+                return
+            if not tail and method == "DELETE":
+                job = self._job(job_id)
+                before = job.state
+                job = self.service.cancel(job.id)
+                if job.state != CANCELLED:
+                    raise _error(409, ReproError(
+                        f"job {job_id} is {before}; only queued jobs "
+                        "can be cancelled"))
+                writer.write(_json_response(200, job.status()))
+                return
+            if tail == "result" and method == "GET":
+                job = self._job(job_id)
+                if not job.finished:
+                    raise _error(409, ReproError(
+                        f"job {job_id} is {job.state}; result not ready"))
+                writer.write(_json_response(200, {
+                    "id": job.id, "state": job.state,
+                    "error": job.error, "result": job.result}))
+                return
+            if tail == "events" and method == "GET":
+                await self._stream_events(self._job(job_id), query, writer)
+                return
+        raise _error(405 if path in ("/healthz", "/metrics", "/v1/jobs")
+                     else 404,
+                     ReproError(f"no route for {method} {path}"))
+
+    async def _stream_events(self, job, query: Dict[str, str],
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON: replay events from ``since``, then follow live until
+        the job reaches a terminal state."""
+        try:
+            since = int(query.get("since", "0"))
+        except ValueError:
+            raise _error(400, JobSpecError("'since' must be an integer")) \
+                from None
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        cursor = max(0, since)
+        while True:
+            while cursor < len(job.events):
+                event = job.events[cursor]
+                cursor += 1
+                writer.write(json.dumps(event).encode("utf-8") + b"\n")
+            await writer.drain()
+            if job.finished and cursor >= len(job.events):
+                return
+            await asyncio.sleep(0.02)
+
+
+async def serve(service: MappingService, host: str = "127.0.0.1",
+                port: int = 8650) -> None:
+    """Run the daemon until SIGTERM/SIGINT or cancellation (the
+    ``soidomino serve`` body).  Shutdown is graceful: the listener and
+    the worker pool are closed (workers joined) before returning, so
+    the port is actually free for a successor process — forked pool
+    workers inherit the listening socket and would otherwise keep it
+    bound."""
+    import signal
+
+    server = ServiceServer(service, host=host, port=port)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    hooked = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            hooked.append(sig)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix loop: Ctrl-C still raises KeyboardInterrupt
+    try:
+        await stop.wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        for sig in hooked:
+            loop.remove_signal_handler(sig)
+        await server.aclose()
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, smoke driver)."""
+
+    def __init__(self, server: ServiceServer,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread):
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def service(self) -> MappingService:
+        return self._server.service
+
+    def stop(self, timeout: float = 10.0) -> None:
+        async def _shutdown() -> None:
+            await self._server.aclose()
+            asyncio.get_running_loop().stop()
+
+        if self._loop.is_running():
+            asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        self._thread.join(timeout)
+        if not self._loop.is_running():
+            self._loop.close()
+
+
+def start_in_thread(service: MappingService, host: str = "127.0.0.1",
+                    port: int = 0) -> ServerHandle:
+    """Start a server on a fresh daemon-thread event loop and return
+    once it is accepting connections."""
+    loop = asyncio.new_event_loop()
+    server = ServiceServer(service, host=host, port=port)
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _start() -> None:
+            await server.start()
+            started.set()
+
+        loop.run_until_complete(_start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="soidomino-serve",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("service server failed to start within 10s")
+    return ServerHandle(server, loop, thread)

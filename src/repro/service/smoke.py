@@ -1,0 +1,201 @@
+"""End-to-end service drill: ``python -m repro.service.smoke``.
+
+The CI job for the daemon.  Against real subprocesses (no in-process
+shortcuts), it asserts the three promises of mapping-as-a-service:
+
+1. **Parity** — a sweep submitted over HTTP produces bit-identical
+   digests and equal costs to ``soidomino batch --json`` run directly;
+2. **Warmth** — a second identical submission rides the same worker
+   pool (no executor rebuild) and is not slower to set up: the job
+   result's cache evidence shows ``pools_built`` unchanged and worker
+   tree caches hitting;
+3. **Persistence** — after a full daemon restart, the new process
+   reuses the sqlite cone store: cumulative store hits grow while the
+   entry count stays flat, and digests still match.
+
+Finally it scrapes ``/metrics`` for the live ``repro_mapping_*`` /
+``repro_service_*`` families.  Exit code 0 on success, 1 with a FAIL
+line per broken assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .client import ServiceClient
+
+DEFAULT_CIRCUITS = ("cm150", "mux", "z4ml")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _python() -> List[str]:
+    return [sys.executable, "-m", "repro"]
+
+
+def _start_daemon(port: int, store: str, jobs: int) -> subprocess.Popen:
+    process = subprocess.Popen(
+        _python() + ["serve", "--port", str(port), "--store", store,
+                     "-j", str(jobs)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        env=os.environ.copy())
+    client = ServiceClient(port=port, timeout=5.0)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with code {process.returncode}")
+        try:
+            if client.health().get("status") == "ok":
+                return process
+        except OSError:
+            time.sleep(0.1)
+    process.terminate()
+    raise RuntimeError("daemon did not become healthy within 30s")
+
+
+def _stop_daemon(process: subprocess.Popen) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=15)
+
+
+def _cli_batch(circuits: Tuple[str, ...],
+               jobs: int) -> Dict[str, Tuple[str, object]]:
+    """Digest + cost per circuit from ``soidomino batch --json``."""
+    completed = subprocess.run(
+        _python() + ["batch", "--json", "-j", str(jobs), *circuits],
+        capture_output=True, text=True, check=True, env=os.environ.copy())
+    payload = json.loads(completed.stdout)
+    return {entry["circuit"]: (entry["digest"], entry["cost"])
+            for entry in payload["results"]}
+
+
+def _cache_stats(store: str) -> Dict[str, object]:
+    completed = subprocess.run(
+        _python() + ["cache", "--db", store, "--json"],
+        capture_output=True, text=True, check=True, env=os.environ.copy())
+    return json.loads(completed.stdout)
+
+
+def _submit_and_wait(client: ServiceClient,
+                     circuits: Tuple[str, ...]) -> Dict[str, object]:
+    job = client.submit({"circuits": list(circuits), "flows": ["soi"]})
+    result = client.wait(job["id"], timeout=600.0)
+    if result["state"] != "done":
+        raise RuntimeError(f"job {job['id']} ended {result['state']}: "
+                           f"{result.get('error')}")
+    return result["result"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="end-to-end drill for soidomino serve")
+    parser.add_argument("--circuits", nargs="+",
+                        default=list(DEFAULT_CIRCUITS))
+    parser.add_argument("-j", "--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+    circuits = tuple(args.circuits)
+    failures: List[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {what}")
+        if not ok:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="soidomino-smoke-") as tmp:
+        store = os.path.join(tmp, "cones.sqlite")
+        port = _free_port()
+
+        print(f"baseline: soidomino batch --json {' '.join(circuits)}")
+        baseline = _cli_batch(circuits, args.jobs)
+
+        print(f"daemon:   soidomino serve --port {port} (pass 1)")
+        daemon = _start_daemon(port, store, args.jobs)
+        try:
+            client = ServiceClient(port=port, timeout=30.0)
+            started = time.monotonic()
+            first = _submit_and_wait(client, circuits)
+            cold_s = time.monotonic() - started
+            served = {e["circuit"]: (e["digest"], e["cost"])
+                      for e in first["results"]}
+            check(served == baseline,
+                  "served digests and costs are bit-identical to the CLI")
+            pool1 = first["cache"]["pool"]
+            check(pool1["pools_built"] == 1 and pool1["warm"],
+                  "first job built exactly one warm pool")
+
+            started = time.monotonic()
+            second = _submit_and_wait(client, circuits)
+            warm_s = time.monotonic() - started
+            served2 = {e["circuit"]: (e["digest"], e["cost"])
+                       for e in second["results"]}
+            check(served2 == baseline,
+                  "warm resubmission digests unchanged")
+            pool2 = second["cache"]["pool"]
+            check(pool2["pools_built"] == pool1["pools_built"]
+                  and pool2["runs"] == pool1["runs"] + 1,
+                  "resubmission reused the warm pool (no rebuild)")
+            total_hits = sum(e["stats"]["cache_hits"]
+                             for e in second["results"])
+            check(total_hits > 0,
+                  "warm workers served cone-cache hits")
+            print(f"          cold {cold_s:.2f}s -> warm {warm_s:.2f}s")
+
+            metrics = client.metrics_text()
+            for family in ("repro_mapping_tuples_created_total",
+                           "repro_mapping_cache_hits_total",
+                           "repro_mapping_cache_evictions_total",
+                           "repro_service_jobs_done_total"):
+                check(family in metrics, f"/metrics exposes {family}")
+        finally:
+            _stop_daemon(daemon)
+
+        before = _cache_stats(store)
+        check(before["entries"] > 0,
+              "persistent store holds cone templates after shutdown")
+
+        print(f"daemon:   soidomino serve --port {port} (restarted)")
+        daemon = _start_daemon(port, store, args.jobs)
+        try:
+            client = ServiceClient(port=port, timeout=30.0)
+            third = _submit_and_wait(client, circuits)
+            served3 = {e["circuit"]: (e["digest"], e["cost"])
+                       for e in third["results"]}
+            check(served3 == baseline,
+                  "post-restart digests still bit-identical")
+        finally:
+            _stop_daemon(daemon)
+        after = _cache_stats(store)
+        check(after["hits"] > before["hits"],
+              "restarted daemon hit the persistent store "
+              f"({before['hits']} -> {after['hits']} cumulative hits)")
+        check(after["entries"] == before["entries"],
+              "restart recomputed nothing new "
+              f"({after['entries']} entries, unchanged)")
+
+    if failures:
+        print(f"\nsmoke: {len(failures)} assertion(s) failed",
+              file=sys.stderr)
+        return 1
+    print("\nsmoke: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,8 @@ def test_no_bare_print_outside_cli_and_evaluation():
         rel = path.relative_to(root)
         if rel.parts[0] in ("cli.py", "evaluation", "__main__.py"):
             continue
+        if rel.as_posix() == "service/smoke.py":  # the CI drill is a CLI
+            continue
         tree = ast.parse(path.read_text(), filename=str(path))
         for node in ast.walk(tree):
             if (isinstance(node, ast.Call)

@@ -116,11 +116,31 @@ class TestBypass:
         assert bypassed.stats.cache_requests == 0
         assert bypassed.cost == soi_domino_map(load_circuit("mux")).cost
 
-    def test_max_entries_cap_stops_stores(self):
+    def test_max_entries_cap_evicts_lru(self):
+        cache = TreeCache(max_entries=1)
+        first = soi_domino_map(load_circuit("mux"), cache=cache)
+        assert len(cache) <= 1
+        assert cache.lru_evictions > 0
+        assert cache.evictions >= cache.lru_evictions
+        # Eviction is a capacity decision, not a correctness one: the
+        # capped cache still reproduces the uncached mapping exactly.
+        baseline = soi_domino_map(load_circuit("mux"), cache=None)
+        assert first.cost == baseline.cost
+
+    def test_eviction_order_is_deterministic(self):
+        def run():
+            cache = TreeCache(max_entries=2)
+            soi_domino_map(load_circuit("mux"), cache=cache)
+            return sorted(cache._entries), cache.lru_evictions
+
+        assert run() == run()
+
+    def test_evictions_surface_in_stats(self):
         cache = TreeCache(max_entries=1)
         soi_domino_map(load_circuit("mux"), cache=cache)
-        assert len(cache) <= 1
-        assert cache.skipped > 0
+        stats = cache.stats()
+        assert stats["lru_evictions"] == cache.lru_evictions
+        assert stats["evictions"] == cache.evictions
 
 
 class TestEligibility:

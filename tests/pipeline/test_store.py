@@ -1,0 +1,143 @@
+"""CacheStore: persistence, integrity, counters, TreeCache second tier."""
+
+import sqlite3
+
+import pytest
+
+from repro import BatchRunner, CacheStore, TreeCache, soi_domino_map
+from repro.bench_suite import load_circuit
+from repro.pipeline.store import SCHEMA_VERSION, default_store_path
+
+SMALL = ["cm150", "mux", "z4ml"]
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = CacheStore(str(tmp_path / "cones.sqlite"))
+    yield s
+    s.close()
+
+
+class TestKeyValue:
+    def test_roundtrip(self, store):
+        assert store.get("k") is None
+        assert store.put("k", b"payload")
+        assert store.get("k") == b"payload"
+        assert len(store) == 1
+        assert store.hits == 1 and store.misses == 1 and store.stores == 1
+
+    def test_first_writer_wins(self, store):
+        assert store.put("k", b"first")
+        assert not store.put("k", b"second")
+        assert store.get("k") == b"first"
+
+    def test_checksum_mismatch_poison_evicts(self, store):
+        store.put("k", b"payload")
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("UPDATE entries SET payload=?", (b"tampered",))
+        assert store.get("k") is None  # miss, not garbage
+        assert store.evictions == 1
+        assert len(store) == 0  # the poisoned row is gone
+
+    def test_delete_and_poison_counter(self, store):
+        store.put("k", b"payload")
+        store.delete("k", poison=True)
+        assert store.get("k") is None
+        assert store.evictions == 1
+
+    def test_clear_resets(self, store):
+        store.put("a", b"1")
+        store.put("b", b"2")
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.stats()["stores"] == 0  # cumulative counters reset
+
+    def test_schema_version_mismatch_clears(self, store):
+        store.put("k", b"payload")
+        store.close()
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("UPDATE meta SET value='0' "
+                         "WHERE key='schema_version'")
+        reopened = CacheStore(store.path)
+        try:
+            assert reopened.get("k") is None
+            assert len(reopened) == 0
+        finally:
+            reopened.close()
+        assert SCHEMA_VERSION >= 1
+
+    def test_stats_are_cumulative_across_objects(self, store):
+        store.put("k", b"payload")
+        store.get("k")
+        store.close()
+        other = CacheStore(store.path)
+        try:
+            other.get("k")
+            stats = other.stats()
+            assert stats["hits"] == 2  # both objects' hits, from the DB
+            assert stats["stores"] == 1
+            assert stats["entries"] == 1
+            assert stats["size_bytes"] > 0
+            assert 0.0 < stats["hit_rate"] <= 1.0
+            assert stats["session"]["hits"] == 1  # this object only
+        finally:
+            other.close()
+
+    def test_sqlite_failure_degrades_to_miss(self, tmp_path):
+        victim = CacheStore(str(tmp_path / "gone.sqlite"))
+        victim.put("k", b"payload")
+        victim._conn.close()  # simulate a dead handle mid-session
+        assert victim.get("k") is None
+        assert not victim.put("j", b"x")
+        assert victim.errors >= 2
+
+    def test_default_store_path_env_override(self, monkeypatch):
+        monkeypatch.setenv("SOIDOMINO_CACHE_DB", "/tmp/x.sqlite")
+        assert default_store_path() == "/tmp/x.sqlite"
+
+
+class TestTreeCacheTier:
+    def test_second_cache_hits_store_bit_identically(self, store):
+        baseline = soi_domino_map(load_circuit("mux"), cache=None)
+        warm = TreeCache(store=store)
+        first = soi_domino_map(load_circuit("mux"), cache=warm)
+        assert store.stores > 0
+
+        cold = TreeCache(store=store)  # fresh memory tier, same store
+        second = soi_domino_map(load_circuit("mux"), cache=cold)
+        # every template the warm run persisted came back from the store;
+        # only the ambiguity-skipped (never-cacheable) cones still miss
+        assert store.hits == warm.stores
+        assert cold.misses == warm.misses - warm.stores
+        assert cold.stores == 0
+        assert second.cost == first.cost == baseline.cost
+        assert (second.circuit.digest() == first.circuit.digest()
+                == baseline.circuit.digest())
+
+    def test_corrupt_store_entry_recomputes_correctly(self, store):
+        TreeCacheA = TreeCache(store=store)
+        expected = soi_domino_map(load_circuit("mux"), cache=TreeCacheA)
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("UPDATE entries SET payload=?", (b"junk",))
+        fresh = TreeCache(store=store)
+        result = soi_domino_map(load_circuit("mux"), cache=fresh)
+        assert result.circuit.digest() == expected.circuit.digest()
+        assert store.evictions > 0
+
+    def test_runner_store_path_survives_processes(self, tmp_path):
+        db = str(tmp_path / "cones.sqlite")
+        tasks = BatchRunner.sweep_tasks(circuits=SMALL)
+        baseline = BatchRunner(max_workers=1, use_cache=False).run(tasks)
+        with BatchRunner(max_workers=2, store_path=db) as runner:
+            first = runner.run(tasks)
+        # a brand-new runner (fresh workers, fresh memory tiers) reuses
+        # the persisted templates
+        with BatchRunner(max_workers=2, store_path=db) as runner:
+            second = runner.run(tasks)
+        assert first.ok and second.ok
+        for a, b, c in zip(baseline.results, first.results, second.results):
+            assert a.digest == b.digest == c.digest
+            assert a.cost == b.cost == c.cost
+        stats = CacheStore(db).stats()
+        assert stats["entries"] > 0
+        assert stats["hits"] > 0

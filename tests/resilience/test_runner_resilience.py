@@ -230,13 +230,14 @@ def test_build_trace_carries_a_resilience_lane():
 
 
 def test_backoff_schedule_is_deterministic_and_capped():
-    runner = BatchRunner(backoff_base_s=0.1, backoff_cap_s=0.5)
-    delays = [runner._backoff_s("mux/soi/area", n, seed=0)
-              for n in range(1, 8)]
-    assert delays == [runner._backoff_s("mux/soi/area", n, seed=0)
-                      for n in range(1, 8)]
-    assert all(d <= 0.5 * 1.5 for d in delays)
-    assert delays[1] != runner._backoff_s("cm150/soi/area", 2, seed=0)
+    with BatchRunner(backoff_base_s=0.1, backoff_cap_s=0.5) as runner:
+        pool = runner._ensure_pool()
+        delays = [pool._backoff_s("mux/soi/area", n, seed=0)
+                  for n in range(1, 8)]
+        assert delays == [pool._backoff_s("mux/soi/area", n, seed=0)
+                          for n in range(1, 8)]
+        assert all(d <= 0.5 * 1.5 for d in delays)
+        assert delays[1] != pool._backoff_s("cm150/soi/area", 2, seed=0)
 
 
 def test_ambient_plan_reaches_pool_workers():
