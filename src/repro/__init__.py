@@ -72,16 +72,20 @@ from .mapping import (
     CostModel,
     DepthCost,
     FlowResult,
+    KernelProtocol,
     MapperConfig,
     MappingEngine,
     MappingResult,
+    available_kernels,
     domino_map,
     flow_config,
     flow_passes,
     map_network,
     prepare_network,
+    register_kernel,
     rs_map,
     soi_domino_map,
+    unregister_kernel,
 )
 from .obs import (
     MetricsRegistry,
@@ -110,7 +114,7 @@ from .resilience import (
     plan_from_spec,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "BatchDeadlineError",
@@ -163,9 +167,13 @@ __all__ = [
     "CostModel",
     "DepthCost",
     "FlowResult",
+    "KernelProtocol",
     "MapperConfig",
     "MappingEngine",
     "MappingResult",
+    "available_kernels",
+    "register_kernel",
+    "unregister_kernel",
     "domino_map",
     "flow_config",
     "map_network",

@@ -46,7 +46,7 @@ from .bench_suite import circuit_names, get_spec, load_circuit
 from .errors import ReproError
 from .io import circuit_netlist, circuit_to_dot, load_bench, load_blif, load_pla
 from .mapping import FLOW_PRESETS, ClockWeightedCost, DepthCost, map_network
-from .mapping.kernel import KERNELS
+from .mapping.kernel import available_kernels
 from .network import LogicNetwork, network_stats
 from .pbe import random_stress
 from .resilience import FAULT_POINTS, install_from_env
@@ -90,8 +90,10 @@ def _cmd_map(args) -> int:
 
     network = _load_network(args.circuit)
     model = _cost_model(args.cost, args.k)
+    kernel_kw = ({} if args.auto_threshold is None
+                 else {"auto_threshold": args.auto_threshold})
     config = MapperConfig(w_max=args.w_max, h_max=args.h_max,
-                          kernel=args.kernel)
+                          kernel=args.kernel, **kernel_kw)
     profiler = None
     if args.profile:
         import cProfile
@@ -161,7 +163,9 @@ def _cmd_batch(args) -> int:
     tasks = BatchRunner.sweep_tasks(
         circuits=args.circuits or None, flows=flows,
         cost_models=[_cost_model(args.cost, args.k)],
-        config=MapperConfig(kernel=args.kernel))
+        config=MapperConfig(kernel=args.kernel, **(
+            {} if args.auto_threshold is None
+            else {"auto_threshold": args.auto_threshold})))
     try:
         report = (runner.run_serial(tasks) if args.serial
                   else runner.run(tasks))
@@ -210,8 +214,9 @@ def _cmd_batch(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .evaluation.formats import render_table
-    from .pipeline.bench import (attach_baseline, load_payload, run_bench,
-                                 validate_payload, write_payload)
+    from .pipeline.bench import (DEFAULT_KERNELS, attach_baseline,
+                                 load_payload, run_bench, validate_payload,
+                                 write_payload)
 
     if args.check:
         try:
@@ -237,7 +242,7 @@ def _cmd_bench(args) -> int:
                         flows=args.algorithm or ["soi"],
                         orderings=args.orderings,
                         modes=args.modes,
-                        kernels=args.kernels,
+                        kernels=args.kernels or DEFAULT_KERNELS,
                         w_max=args.w_max,
                         h_max=args.h_max,
                         jobs=args.jobs,
@@ -285,9 +290,14 @@ def _cmd_bench(args) -> int:
             f"{name}={ratio:.2f}x" if ratio else f"{name}=n/a"
             for name, ratio in sorted(
                 kernels.get("tuple_heavy_throughput_speedup", {}).items()))
+        pareto_speedups = ", ".join(
+            f"{name}={ratio:.2f}x" if ratio else f"{name}=n/a"
+            for name, ratio in sorted(
+                kernels.get("pareto_heavy_throughput_speedup", {}).items()))
         print(f"kernels:   digests {verdict} across "
               f"{parity['configs_checked']} configs; tuple-heavy "
-              f"throughput vs reference: {speedups or 'n/a'}")
+              f"throughput vs reference: {speedups or 'n/a'}; "
+              f"pareto-heavy: {pareto_speedups or 'n/a'}")
     if "baseline" in payload:
         base = payload["baseline"]
 
@@ -474,9 +484,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clock-transistor weight for --cost clock")
     p_map.add_argument("--w-max", type=int, default=5)
     p_map.add_argument("--h-max", type=int, default=8)
-    p_map.add_argument("--kernel", choices=list(KERNELS), default="auto",
+    p_map.add_argument("--kernel", choices=list(available_kernels()),
+                       default="auto",
                        help="DP combine kernel: reference (scalar oracle), "
-                            "soa (numpy, bit-identical), auto (hybrid)")
+                            "soa (numpy, bit-identical), auto (hybrid), "
+                            "or any registered kernel")
+    p_map.add_argument("--auto-threshold", type=int, default=None,
+                       metavar="N",
+                       help="auto kernel routing cutoff: combine calls "
+                            "with at least N candidate pairs go to the "
+                            "soa kernel (default 64)")
     p_map.add_argument("--netlist", action="store_true",
                        help="print the SPICE-style transistor netlist")
     p_map.add_argument("--dot", action="store_true",
@@ -515,8 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-task timeout in seconds (pool mode)")
     p_batch.add_argument("--retries", type=int, default=1,
                          help="retries per task on worker failure")
-    p_batch.add_argument("--kernel", choices=list(KERNELS), default="auto",
+    p_batch.add_argument("--kernel", choices=list(available_kernels()),
+                         default="auto",
                          help="DP combine kernel for every task")
+    p_batch.add_argument("--auto-threshold", type=int, default=None,
+                         metavar="N",
+                         help="auto kernel routing cutoff in candidate "
+                              "pairs (default 64)")
     p_batch.add_argument("--store", metavar="PATH", default=None,
                          help="mount the persistent cone cache at PATH "
                               "under every worker (see 'soidomino cache')")
@@ -546,11 +568,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--modes", nargs="+", choices=["single", "pareto"],
                          default=["single", "pareto"],
                          help="tuple-table modes to sweep")
-    p_bench.add_argument("--kernels", nargs="+", choices=list(KERNELS),
-                         default=["reference", "soa"],
-                         help="DP kernels to sweep; running both makes "
-                              "every bench a cross-kernel bit-identity "
-                              "check with per-kernel throughput")
+    p_bench.add_argument("--kernels", nargs="+", choices=list(available_kernels()),
+                         default=None,
+                         help="DP kernels to sweep (default: reference "
+                              "and soa when numpy is installed, else "
+                              "reference); running both makes every "
+                              "bench a cross-kernel bit-identity check "
+                              "with per-kernel throughput")
     p_bench.add_argument("--w-max", type=int, default=None,
                          help="pulldown width limit (default: paper's 5); "
                               "larger limits grow candidate batches")

@@ -1,6 +1,12 @@
 """Technology mapping: the paper's algorithms and their cost models."""
 
 from .cost import AreaCost, ClockWeightedCost, CostModel, DepthCost
+from .kernel import (
+    KernelProtocol,
+    available_kernels,
+    register_kernel,
+    unregister_kernel,
+)
 from .tuples import MapTuple, TupleTable
 from .engine import (
     GateRecord,
@@ -33,6 +39,10 @@ __all__ = [
     "ClockWeightedCost",
     "CostModel",
     "DepthCost",
+    "KernelProtocol",
+    "available_kernels",
+    "register_kernel",
+    "unregister_kernel",
     "MapTuple",
     "TupleTable",
     "GateRecord",

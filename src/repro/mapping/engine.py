@@ -45,7 +45,8 @@ from ..network import LogicNetwork, NodeType
 from ..pipeline.metrics import MappingStats
 from ..resilience.faults import fire
 from .cost import CostModel
-from .kernel import KERNELS, metric_fast_path, resolve_kernel
+from .kernel import (AUTO_THRESHOLD, available_kernels, metric_fast_path,
+                     resolve_kernel)
 from .tuples import MapTuple, TupleTable
 
 #: How combine_and orders its operands.
@@ -95,16 +96,28 @@ class MapperConfig:
         pathological input degrades into a reportable per-task failure
         instead of unbounded memory growth taking the whole batch down.
     kernel:
-        Which DP combine kernel runs the inner loop: ``"reference"`` —
-        the scalar Python oracle; ``"soa"`` — the structure-of-arrays
-        numpy kernel (bit-identical tables, requires numpy); ``"auto"``
-        (the default) — a hybrid routing each combine call by operand
-        size, soa when numpy is importable and the batch is large
-        enough to amortize the array overhead.  Excluded from
-        :meth:`fingerprint` because the kernel is execution strategy,
-        not mapping semantics: all kernels produce bit-identical
-        tables, so cached/checkpointed artifacts are shared across
-        them.
+        Which DP combine kernel runs the inner loop — any name in
+        :func:`repro.mapping.kernel.available_kernels`.  Built in:
+        ``"reference"`` — the scalar Python oracle; ``"soa"`` — the
+        structure-of-arrays numpy kernel (bit-identical tables,
+        requires numpy); ``"auto"`` (the default) — a hybrid routing
+        each combine call by operand size, soa when numpy is importable
+        and the batch is large enough to amortize the array overhead.
+        Third-party kernels registered via
+        :func:`~repro.mapping.kernel.register_kernel` are selected the
+        same way.  Excluded from :meth:`fingerprint` because the kernel
+        is execution strategy, not mapping semantics: all kernels
+        produce bit-identical tables, so cached/checkpointed artifacts
+        are shared across them.
+    auto_threshold:
+        The ``"auto"`` kernel's routing cutoff: a combine call goes to
+        the soa kernel when ``len(view_a) * len(view_b)`` is at least
+        this many candidate pairs, to the reference kernel otherwise
+        (default :data:`~repro.mapping.kernel.AUTO_THRESHOLD`).  Pure
+        execution strategy like ``kernel`` — any setting yields
+        bit-identical tables — so it is likewise excluded from
+        :meth:`fingerprint`; the decision tally is observable in
+        ``stats.auto_routed_soa`` / ``stats.auto_routed_reference``.
     duplication:
         Fanout handling.  ``True`` (the paper's regime, following [23]):
         every consumer of a multi-fanout node sees the node's full tuple
@@ -126,12 +139,17 @@ class MapperConfig:
     max_nodes: Optional[int] = None
     max_tuples: Optional[int] = None
     kernel: str = "auto"
+    auto_threshold: int = AUTO_THRESHOLD
 
     def __post_init__(self):
-        if self.kernel not in KERNELS:
+        if self.kernel not in available_kernels():
             raise MappingError(
-                f"unknown kernel {self.kernel!r}; "
-                f"expected one of {', '.join(KERNELS)}")
+                f"unknown kernel {self.kernel!r}; available kernels: "
+                f"{', '.join(available_kernels())} "
+                "(register_kernel() adds custom ones)")
+        if self.auto_threshold < 1:
+            raise MappingError(
+                f"auto_threshold must be >= 1, got {self.auto_threshold}")
         if self.max_nodes is not None and self.max_nodes < 1:
             raise MappingError(f"max_nodes must be >= 1, got {self.max_nodes}")
         if self.max_tuples is not None and self.max_tuples < 1:
@@ -149,15 +167,20 @@ class MapperConfig:
                 f"unknown ground policy {self.ground_policy!r}; "
                 f"expected one of {', '.join(GROUND_POLICIES)}")
 
+    #: Fields :meth:`fingerprint` skips — execution strategy, not
+    #: mapping semantics.
+    _NON_SEMANTIC_FIELDS = frozenset({"kernel", "auto_threshold"})
+
     def fingerprint(self) -> tuple:
         """Hashable identity of every *semantic* field (tree-cache key).
 
-        ``kernel`` is excluded: every kernel produces bit-identical
-        tables, so cache entries and checkpoints written under one
-        kernel are valid — and shared — under any other.
+        ``kernel`` and ``auto_threshold`` are excluded: every kernel
+        (and any routing split) produces bit-identical tables, so cache
+        entries and checkpoints written under one kernel are valid —
+        and shared — under any other.
         """
         return tuple(getattr(self, f.name) for f in fields(self)
-                     if f.name != "kernel")
+                     if f.name not in self._NON_SEMANTIC_FIELDS)
 
 
 @dataclass

@@ -1,7 +1,9 @@
-"""DP kernel selection: the reference kernel and the kernel protocol.
+"""DP kernel selection: the kernel registry and the reference kernel.
 
-The combine/dominance inner loop of the mapping DP exists in two peer
-implementations selected by :attr:`MapperConfig.kernel`:
+The combine/dominance inner loop of the mapping DP is pluggable: a
+*kernel registry* maps the spellings :attr:`MapperConfig.kernel`
+accepts to factories producing :class:`KernelProtocol` implementations.
+Three kernels ship built in:
 
 * ``"reference"`` — the scalar Python kernel (this module), a literal
   transcription of :meth:`TupleTable.insert` with the lazy-structure and
@@ -12,10 +14,21 @@ implementations selected by :attr:`MapperConfig.kernel`:
   filtering as broadcasted column arithmetic, bit-identical to the
   reference by construction (see DESIGN.md §12).
 * ``"auto"`` — a hybrid that routes each combine call to the soa kernel
-  when numpy is importable and the operand views are large enough to
-  amortize the array overhead, and to the reference kernel otherwise.
-  Sound because both kernels produce identical tables *and* identical
-  stats counters.
+  when numpy is importable and the operand views are large enough
+  (``MapperConfig.auto_threshold``) to amortize the array overhead, and
+  to the reference kernel otherwise.  Sound because both kernels
+  produce identical tables *and* identical stats counters; the per-call
+  routing tally lands in ``stats.auto_routed_soa`` /
+  ``stats.auto_routed_reference`` and the report kernel block.
+
+Third-party kernels plug in via :func:`register_kernel` and are
+selected with ``MapperConfig(kernel="<name>")`` like the built-ins.
+They inherit the same parity obligations: identical tables (slot
+insertion order included — the tree cache serializes it) and identical
+``tuples_created``/``tuples_pruned``/``bound_skips`` counters, so runs
+mixing kernels stay bit-identical.  The dual-kernel digest sweep and
+the fuzzed slot-for-slot harness in ``tests/mapping`` are the reusable
+parity witnesses.
 
 A kernel is bound to one :class:`~repro.mapping.engine.MappingEngine`
 run via :meth:`KernelProtocol.build` and then receives every per-node
@@ -26,7 +39,7 @@ diagnostics for reports.
 
 from __future__ import annotations
 
-from typing import List, Protocol, runtime_checkable
+from typing import Callable, Dict, List, Protocol, runtime_checkable
 
 try:  # numpy is an optional dependency: the soa kernel needs it,
     import numpy as np  # everything else runs without it.
@@ -34,16 +47,72 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch
     np = None
 
 from ..errors import MappingError
+from ..pipeline.metrics import MappingStats
 from .cost import CostModel
 from .tuples import MapTuple, TupleTable
 
-#: The values MapperConfig.kernel accepts.
+#: The built-in kernel spellings (CLI choices; the registry may hold
+#: more — ``available_kernels()`` is the authoritative list).
 KERNELS = ("reference", "soa", "auto")
 
-#: Minimum ``len(view_a) * len(view_b)`` for the auto kernel to route a
-#: combine call to the soa kernel; smaller batches stay on the reference
+#: Default for ``MapperConfig.auto_threshold``: minimum
+#: ``len(view_a) * len(view_b)`` for the auto kernel to route a combine
+#: call to the soa kernel; smaller batches stay on the reference
 #: kernel, whose per-pair cost beats the fixed numpy dispatch overhead.
 AUTO_THRESHOLD = 64
+
+#: name -> factory.  A factory is called with the bound-to-be
+#: :class:`~repro.mapping.engine.MappingEngine` and returns an
+#: *unbuilt* kernel instance; ``resolve_kernel`` calls ``build`` on it.
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_kernel(name: str, factory: Callable, *,
+                    replace: bool = False) -> None:
+    """Register a DP kernel factory under ``name``.
+
+    ``factory(engine)`` must return an object satisfying
+    :class:`KernelProtocol`; it receives the engine *before* ``build``
+    so it can inspect ``engine.config`` / ``engine.model`` and choose
+    what to instantiate (the built-in ``"soa"`` factory, for example,
+    degrades to the reference kernel for non-vectorizable cost models).
+    The returned kernel carries the full parity obligations spelled out
+    in the module docstring — bit-identical tables and work counters.
+
+    Registered names become valid ``MapperConfig(kernel=...)`` values
+    immediately.  Re-registering an existing name raises
+    :class:`~repro.errors.MappingError` unless ``replace=True`` — the
+    guard that keeps a plugin from silently shadowing a built-in.
+    """
+    if not isinstance(name, str) or not name:
+        raise MappingError("kernel name must be a non-empty string, "
+                           f"got {name!r}")
+    if not callable(factory):
+        raise MappingError(f"kernel factory for {name!r} must be callable, "
+                           f"got {factory!r}")
+    if name in _REGISTRY and not replace:
+        raise MappingError(
+            f"kernel {name!r} is already registered; pass replace=True "
+            "to override it")
+    _REGISTRY[name] = factory
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a registered kernel (built-ins refuse to unregister)."""
+    if name in KERNELS:
+        raise MappingError(f"cannot unregister built-in kernel {name!r}")
+    if name not in _REGISTRY:
+        raise MappingError(f"kernel {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def available_kernels() -> tuple:
+    """Registered kernel names, built-ins first, in registration order.
+
+    This is the list ``MapperConfig`` validates ``kernel=`` against and
+    the list error messages cite.
+    """
+    return tuple(_REGISTRY)
 
 
 def metric_fast_path(model: CostModel):
@@ -426,7 +495,11 @@ class AutoKernel:
 
     Sound as a per-call choice because both kernels produce identical
     tables and identical stats counters — the routing decision is pure
-    execution strategy.
+    execution strategy.  The batch-size cutoff comes from
+    ``MapperConfig.auto_threshold`` (via ``resolve_kernel``), and every
+    per-call decision is tallied into ``stats.auto_routed_soa`` /
+    ``stats.auto_routed_reference`` so reports can show how a hybrid
+    run actually split its work.
     """
 
     name = "auto"
@@ -435,18 +508,22 @@ class AutoKernel:
     def __init__(self, reference, soa, threshold=None):
         self._reference = reference
         self._soa = soa
-        # late-bound so tests (and tuning runs) can adjust the module
-        # constant without rebuilding every call site
         self._threshold = AUTO_THRESHOLD if threshold is None else threshold
+        # Replaced by the engine's stats on build(); a throwaway default
+        # keeps an unbuilt hybrid (unit tests, ad-hoc harnesses) usable.
+        self._stats = MappingStats()
 
     def build(self, engine) -> None:
+        self._stats = engine.stats
         self._reference.build(engine)
         self._soa.build(engine)
 
     def combine(self, table, is_or, view_a, view_b) -> None:
         if len(view_a) * len(view_b) >= self._threshold:
+            self._stats.auto_routed_soa += 1
             self._soa.combine(table, is_or, view_a, view_b)
         else:
+            self._stats.auto_routed_reference += 1
             self._reference.combine(table, is_or, view_a, view_b)
 
     def finalize(self) -> None:
@@ -454,47 +531,76 @@ class AutoKernel:
         self._soa.finalize()
 
     def stats(self) -> dict:
+        routed = self._stats
         return {"active": self.active, "threshold": self._threshold,
+                "routed_soa": routed.auto_routed_soa,
+                "routed_reference": routed.auto_routed_reference,
                 **{k: v for k, v in self._soa.stats().items()
                    if k != "active"}}
 
 
-def resolve_kernel(engine):
-    """The kernel instance a configured engine runs, already built.
+def _reference_factory(engine):
+    return ReferenceKernel()
 
-    ``"reference"`` always resolves to the oracle.  ``"soa"`` requires
-    numpy (a hard error otherwise — an explicit request must not be
-    silently ignored) and a vectorizable cost model (falls back to the
-    reference kernel with ``stats.kernel_fallbacks`` incremented).
-    ``"auto"`` picks the hybrid when numpy and the model allow, the
-    reference kernel otherwise.
+
+def _soa_factory(engine):
+    """``kernel="soa"``: numpy is a hard requirement, the model soft.
+
+    An explicit soa request without numpy must not be silently ignored;
+    a non-vectorizable cost model degrades to the reference kernel with
+    ``stats.kernel_fallbacks`` incremented (the tables are bit-identical
+    either way, so the fallback is observable only in the counter).
     """
-    choice = engine.config.kernel
-    if choice == "reference":
-        kernel = ReferenceKernel()
-        kernel.build(engine)
-        return kernel
     if np is None:
-        if choice == "soa":
-            raise MappingError(
-                "kernel='soa' requires numpy, which is not importable; "
-                "install numpy or use kernel='reference'/'auto'")
-        kernel = ReferenceKernel()
-        kernel.build(engine)
-        return kernel
-    from .soa import SoAKernel
-
+        raise MappingError(
+            "kernel='soa' requires numpy, which is not importable; "
+            "install numpy or pick another registered kernel "
+            f"(available_kernels(): {', '.join(available_kernels())})")
     if not metric_vectorizable(engine.model):
         # The model overrides tuple_key directly or its metric form is
         # not elementwise-exact on arrays: the soa kernel cannot match
         # the oracle, so the run degrades to the reference kernel.
         engine.stats.kernel_fallbacks += 1
-        kernel = ReferenceKernel()
-        kernel.build(engine)
-        return kernel
-    if choice == "soa":
-        kernel = SoAKernel()
-    else:
-        kernel = AutoKernel(ReferenceKernel(), SoAKernel())
+        return ReferenceKernel()
+    from .soa import make_soa_kernel
+
+    return make_soa_kernel()
+
+
+def _auto_factory(engine):
+    """``kernel="auto"``: the hybrid when numpy and the model allow."""
+    if np is None:
+        return ReferenceKernel()
+    if not metric_vectorizable(engine.model):
+        engine.stats.kernel_fallbacks += 1
+        return ReferenceKernel()
+    from .soa import make_soa_kernel
+
+    return AutoKernel(ReferenceKernel(), make_soa_kernel(),
+                      threshold=engine.config.auto_threshold)
+
+
+register_kernel("reference", _reference_factory)
+register_kernel("soa", _soa_factory)
+register_kernel("auto", _auto_factory)
+
+
+def resolve_kernel(engine):
+    """The kernel instance a configured engine runs, already built.
+
+    Looks ``engine.config.kernel`` up in the registry, calls the
+    factory with the engine, and binds the returned kernel via
+    ``build``.  ``MapperConfig`` validates the spelling eagerly, so an
+    unknown name here means the registry changed between config
+    construction and the run — still a typed error, never a
+    ``KeyError``.
+    """
+    choice = engine.config.kernel
+    factory = _REGISTRY.get(choice)
+    if factory is None:
+        raise MappingError(
+            f"unknown kernel {choice!r}; available kernels: "
+            f"{', '.join(available_kernels())}")
+    kernel = factory(engine)
     kernel.build(engine)
     return kernel

@@ -70,6 +70,13 @@ def flow_report(result, *, cost_objective: Optional[str] = None,
         "kernel": {
             "requested": result.config.kernel,
             "active": result.mapping.kernel,
+            "auto_threshold": result.config.auto_threshold,
+            "routed": {
+                "soa": (result.stats.auto_routed_soa
+                        if result.stats is not None else 0),
+                "reference": (result.stats.auto_routed_reference
+                              if result.stats is not None else 0),
+            },
         },
         "timings": {
             "elapsed_s": result.elapsed_s,

@@ -67,6 +67,11 @@ class MappingStats:
         Runs where the soa kernel was requested (or auto-eligible) but
         the cost model was not vectorizable, so the reference kernel
         ran instead (once per affected engine construction).
+    auto_routed_soa, auto_routed_reference:
+        The ``"auto"`` kernel's per-call routing decisions: combine
+        calls sent to the soa kernel (batch at least
+        ``MapperConfig.auto_threshold`` candidate pairs) versus kept on
+        the reference kernel.  Both zero unless the hybrid ran.
     """
 
     tuples_created: int = 0
@@ -85,6 +90,8 @@ class MappingStats:
     soa_candidates: int = 0
     soa_max_batch: int = 0
     kernel_fallbacks: int = 0
+    auto_routed_soa: int = 0
+    auto_routed_reference: int = 0
 
     @property
     def tuples_kept(self) -> int:
@@ -139,6 +146,9 @@ class MappingStats:
                          f"/{self.soa_candidates}")
         if self.kernel_fallbacks:
             parts.append(f"kernel_fallbacks={self.kernel_fallbacks}")
+        if self.auto_routed_soa or self.auto_routed_reference:
+            parts.append(f"auto_routed=soa:{self.auto_routed_soa}"
+                         f"/ref:{self.auto_routed_reference}")
         if self.cache_requests:
             parts.append(f"cache={self.cache_hits}/{self.cache_requests}"
                          f" ({100.0 * self.cache_hit_rate:.0f}%)")

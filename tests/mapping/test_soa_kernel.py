@@ -35,7 +35,7 @@ from repro.mapping import CostModel, DepthCost, MapperConfig  # noqa: E402
 from repro.mapping import map_network  # noqa: E402
 from repro.mapping.kernel import (AutoKernel, ReferenceKernel,  # noqa: E402
                                   metric_fast_path, resolve_kernel)
-from repro.mapping.soa import SoAKernel  # noqa: E402
+from repro.mapping.soa import SoAKernel, make_soa_kernel  # noqa: E402
 from repro.mapping.tuples import MapTuple, TupleTable  # noqa: E402
 from repro.network import network_from_expression  # noqa: E402
 from repro.pipeline import MappingStats  # noqa: E402
@@ -80,13 +80,15 @@ def _snapshot(table: TupleTable):
             for shape, entries in table.raw_slots().items()]
 
 
-def _run_both(config, model, view_a, view_b, is_or, seed_table=None):
+def _run_both(config, model, view_a, view_b, is_or, seed_table=None,
+              max_front=4):
     outs = []
-    for kernel_cls in (ReferenceKernel, SoAKernel):
+    for make_kernel in (ReferenceKernel, make_soa_kernel):
         engine = _fake_engine(config, model)
-        kernel = kernel_cls()
+        kernel = make_kernel()
         kernel.build(engine)
-        table = TupleTable(key_fn=model.tuple_key, pareto=config.pareto)
+        table = TupleTable(key_fn=model.tuple_key, pareto=config.pareto,
+                           max_front=max_front)
         if seed_table is not None:
             for shape, entries in seed_table:
                 table.raw_slots()[shape] = list(entries)
@@ -138,6 +140,83 @@ def test_fuzzed_tables_other_models(model):
             config, model, view_a, view_b, is_or)
         assert soa_slots == ref_slots
         assert soa_stats == ref_stats
+
+
+@pytest.mark.parametrize("max_front", [1, 2, 64])
+def test_pareto_front_bounds_bit_identical(max_front):
+    """Degenerate and oversized front caps reproduce the reference.
+
+    ``max_front=1`` keeps a single survivor per slot (every accept is a
+    truncation decision), ``max_front=2`` runs with the columnwise
+    pre-reject disabled (it requires ``max_front >= 4``), and
+    ``max_front=64`` never truncates at all on these view sizes, so the
+    sort-truncate path must stay a no-op.
+    """
+    model = CostModel()
+    for seed in range(4):
+        rng = random.Random(9000 + 31 * max_front + seed)
+        config = MapperConfig(w_max=5, h_max=7, ordering="exhaustive",
+                              pareto=True, pbe_aware=True)
+        view_a = [_random_tuple(rng, i, config, seed % 2 == 0)
+                  for i in range(rng.randint(4, 20))]
+        view_b = [_random_tuple(rng, 100 + i, config, seed % 2 == 0)
+                  for i in range(rng.randint(4, 20))]
+        for is_or in (True, False):
+            (ref_slots, ref_stats), (soa_slots, soa_stats) = _run_both(
+                config, model, view_a, view_b, is_or, max_front=max_front)
+            assert soa_slots == ref_slots, (
+                f"slot divergence: max_front={max_front} seed={seed} "
+                f"is_or={is_or}")
+            assert soa_stats == ref_stats, (
+                f"stats divergence: max_front={max_front} seed={seed} "
+                f"is_or={is_or}")
+
+
+def _tie_heavy_tuple(rng: random.Random, idx: int,
+                     config: MapperConfig) -> MapTuple:
+    # keys drawn from a two-value set and p_dis from a narrow band, so
+    # the sort-truncate at max_front constantly lands on exact
+    # (key, p_dis) ties and the arrival-order tie-break is what decides
+    # which entries survive
+    width = rng.randint(1, config.w_max)
+    height = rng.randint(1, config.h_max)
+    trans = rng.choice((3, 4))
+    par_b = rng.random() < 0.5
+    p_dis = rng.randint(0, 2)
+    return MapTuple(width=width, height=height, wcost=float(trans),
+                    trans=trans, disch=rng.randint(0, 1),
+                    levels=rng.randint(0, 2), p_dis=p_dis,
+                    par_b=par_b, has_pi=rng.random() < 0.5,
+                    p_tail=rng.randint(0, p_dis),
+                    ends_par=par_b or rng.random() < 0.3,
+                    structure=Leaf(f"t{idx}"))
+
+
+@pytest.mark.parametrize("max_front", [2, 4])
+def test_pareto_exact_key_ties_at_truncation_boundary(max_front):
+    """Slots full of exact (key, p_dis) duplicates truncate identically.
+
+    The reference truncation is a *stable* sort on ``(key, p_dis)``
+    followed by a cut, so among tied entries survival is decided purely
+    by arrival order — the subtlest contract the columnwise front has
+    to honor.
+    """
+    model = CostModel()
+    for seed in range(6):
+        rng = random.Random(7000 + 31 * max_front + seed)
+        config = MapperConfig(w_max=3, h_max=4, ordering="exhaustive",
+                              pareto=True, pbe_aware=True)
+        view_a = [_tie_heavy_tuple(rng, i, config)
+                  for i in range(rng.randint(6, 24))]
+        view_b = [_tie_heavy_tuple(rng, 100 + i, config)
+                  for i in range(rng.randint(6, 24))]
+        for is_or in (True, False):
+            (ref_slots, ref_stats), (soa_slots, soa_stats) = _run_both(
+                config, model, view_a, view_b, is_or, max_front=max_front)
+            assert soa_slots == ref_slots, (
+                f"tie-break divergence: max_front={max_front} "
+                f"seed={seed} is_or={is_or}")
+            assert soa_stats == ref_stats
 
 
 def test_seeded_table_path_bit_identical():
@@ -240,11 +319,26 @@ def test_custom_tuple_key_falls_back_to_reference():
     assert r.stats.soa_batches == 0
 
 
+def test_custom_tuple_key_auto_falls_back_with_counter():
+    class FractionalModel(CostModel):
+        def tuple_key(self, t):  # fanout-amortized fractional key
+            return t.wcost + t.levels / 7.0
+
+    r = map_network(network_from_expression("(a + b) * (c + d) + e"),
+                    cost_model=FractionalModel(),
+                    config=MapperConfig(kernel="auto", pareto=True))
+    assert r.mapping.kernel == "reference"
+    assert r.stats.kernel_fallbacks == 1
+    assert r.stats.soa_batches == 0
+
+
 def test_soa_without_numpy_is_hard_error(monkeypatch):
     import repro.mapping.kernel as kernel_mod
 
     monkeypatch.setattr(kernel_mod, "np", None)
-    with pytest.raises(MappingError, match="numpy"):
+    # the error points at the registry so the fix is discoverable
+    with pytest.raises(MappingError,
+                       match=r"numpy.*available_kernels\(\).*reference"):
         map_network(network_from_expression("a * b + c"),
                     config=MapperConfig(kernel="soa"))
     # auto degrades silently instead

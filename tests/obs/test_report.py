@@ -51,6 +51,22 @@ def test_flow_report_stats_re_derived_from_registry():
     assert result.metrics.mapping_stats() == result.stats
 
 
+def test_flow_report_kernel_block_records_routing():
+    from repro.mapping import MapperConfig
+
+    result = map_network(_net(), config=MapperConfig(kernel="auto"))
+    block = flow_report(result)["kernel"]
+    assert block["requested"] == "auto"
+    assert block["active"] in ("hybrid", "reference")
+    assert block["auto_threshold"] == result.config.auto_threshold
+    assert block["routed"]["soa"] == result.stats.auto_routed_soa
+    assert (block["routed"]["reference"]
+            == result.stats.auto_routed_reference)
+    if block["active"] == "hybrid":  # numpy present: routing was tallied
+        routed = block["routed"]["soa"] + block["routed"]["reference"]
+        assert 0 < routed <= result.stats.combine_calls
+
+
 def test_flow_result_as_dict_is_the_unified_report():
     result = _flow_result()
     assert result.as_dict()["schema_version"] == REPORT_SCHEMA_VERSION

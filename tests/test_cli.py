@@ -109,12 +109,19 @@ def test_map_profile_flag(capsys):
 
 
 def test_bench_writes_valid_payload(tmp_path, capsys):
+    try:
+        import numpy  # noqa: F401
+
+        dual_kernel = True
+    except ImportError:  # default sweep drops to the reference kernel
+        dual_kernel = False
     path = tmp_path / "bench.json"
     assert main(["bench", "cm150", "mux", "-o", str(path)]) == 0
     out = capsys.readouterr().out
-    assert "bench: 16 tasks" in out
+    assert f"bench: {16 if dual_kernel else 8} tasks" in out
     assert "aggregate:" in out
-    assert "kernels:   digests IDENTICAL" in out
+    if dual_kernel:
+        assert "kernels:   digests IDENTICAL" in out
     assert path.exists()
 
     assert main(["bench", "--check", str(path)]) == 0

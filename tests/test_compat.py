@@ -3,10 +3,14 @@
 All pre-0.5 shims — the positional-CostModel ``map_network`` call form,
 the loose ``soi_domino_map`` keyword switches, and the
 ``MappingResult.tuples_created`` alias — were removed on schedule, so
-this module now asserts (a) the :func:`repro._compat.deprecated` helper
-still behaves for future shims, (b) the shim table is empty, and (c)
-each retired legacy spelling is genuinely gone (hard error, not a
+this module asserts (a) the :func:`repro._compat.deprecated` helper
+still behaves for shims, (b) the shim table holds exactly the live
+deprecations with removal releases ahead of the current version, and
+(c) each retired legacy spelling is genuinely gone (hard error, not a
 silent success).
+
+One shim is live in 0.6: direct ``SoAKernel()`` construction, which
+the kernel registry replaced (removal scheduled for 0.7).
 """
 
 import warnings
@@ -35,11 +39,31 @@ def test_helper_is_silent_under_simplefilter_ignore():
         deprecated("suppressed", stacklevel=1)
 
 
-def test_shim_table_is_empty_since_0_5():
-    # every shim scheduled for 0.5 was removed with the 0.5 release;
-    # a new deprecation must add itself here with a removal release
-    assert SHIMS == ()
-    assert repro.__version__.startswith("0.5")
+def test_shim_table_holds_the_live_deprecations():
+    # every shim scheduled for 0.5 was removed with the 0.5 release; the
+    # one live shim is the SoAKernel constructor the registry replaced.
+    # A new deprecation must add itself here with a removal release.
+    assert repro.__version__.startswith("0.6")
+    assert [(s.name, s.remove_in) for s in SHIMS] == [
+        ("repro.mapping.soa.SoAKernel() direct construction", "0.7"),
+    ]
+    (shim,) = SHIMS
+    assert "kernel registry" in shim.replacement
+
+
+def test_direct_soa_kernel_construction_warns():
+    numpy = pytest.importorskip("numpy")
+    assert numpy is not None
+    from repro.mapping.soa import SoAKernel, make_soa_kernel
+
+    with pytest.warns(DeprecationWarning, match="kernel registry"):
+        SoAKernel()
+    # the registry spelling (and its factory helper) stays silent
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        make_soa_kernel()
+        result = map_network(_net(), config=repro.MapperConfig(kernel="soa"))
+        assert result.mapping.kernel == "soa"
 
 
 def test_map_network_positional_cost_model_removed():
