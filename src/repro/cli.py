@@ -408,22 +408,43 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import errno
 
+    from .errors import ReproError
     from .pipeline import default_store_path
-    from .service import MappingService, serve
+    from .service import MappingService, default_journal_path, serve
 
     store = None if args.no_store else (args.store or default_store_path())
+    journal = args.journal or default_journal_path()
+    if journal.lower() == "none":
+        journal = None
     service = MappingService(max_workers=args.jobs,
                              store_path=store,
                              use_cache=not args.no_cache,
-                             max_queued_per_tenant=args.max_queued)
+                             max_queued_per_tenant=args.max_queued,
+                             journal_path=journal)
+    if service.recovered_jobs:
+        print(f"soidomino serve: recovered {service.recovered_jobs} "
+              f"job(s) from the journal "
+              f"({service.requeued_jobs} re-enqueued)", file=sys.stderr)
     print(f"soidomino serve: http://{args.host}:{args.port} "
           f"(workers={service.pool.width}, "
-          f"store={store or 'disabled'})", file=sys.stderr)
+          f"store={store or 'disabled'}, "
+          f"journal={journal or 'disabled'})", file=sys.stderr)
     try:
-        asyncio.run(serve(service, host=args.host, port=args.port))
+        asyncio.run(serve(service, host=args.host, port=args.port,
+                          drain_grace_s=args.drain_grace))
     except KeyboardInterrupt:
         print("soidomino serve: shutting down", file=sys.stderr)
+    except OSError as exc:
+        service.close()
+        if exc.errno == errno.EADDRINUSE:
+            raise ReproError(
+                f"cannot bind {args.host}:{args.port}: address already "
+                "in use (is another soidomino serve running? pick "
+                "another --port or stop it)") from None
+        raise ReproError(
+            f"cannot bind {args.host}:{args.port}: {exc}") from None
     return 0
 
 
@@ -676,6 +697,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the persistent cone cache")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable tree caching entirely")
+    p_serve.add_argument("--journal", metavar="PATH", default=None,
+                         help="crash-safe job journal db (default: "
+                              "$REPRO_JOURNAL or the per-user cache "
+                              "path; 'none' disables journaling)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         metavar="S",
+                         help="seconds SIGTERM waits for queued/running "
+                              "jobs before exiting (default 30; jobs "
+                              "left over stay journaled)")
     p_serve.add_argument("--max-queued", type=int, default=16,
                          help="admission quota: queued jobs allowed per "
                               "tenant before 429")

@@ -51,6 +51,7 @@ from .report import (
     batch_report,
     extend_bench_payload,
     flow_report,
+    job_report,
 )
 from .trace import (
     DEFAULT_NODE_SPAN_THRESHOLD_S,
@@ -80,6 +81,7 @@ __all__ = [
     "extend_bench_payload",
     "flow_report",
     "infer_trace_format",
+    "job_report",
     "prometheus_text",
     "read_jsonl",
     "rows_to_spans",

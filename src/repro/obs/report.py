@@ -161,6 +161,24 @@ def batch_report(report, *,
     }
 
 
+def job_report(job) -> Dict[str, object]:
+    """The ``job`` block of a service result payload.
+
+    Identity plus durability evidence: execution attempts (1 for an
+    uninterrupted run, 2+ when the journal re-enqueued it after a
+    crash) and whether the job was recovered at daemon startup —
+    everything a client needs to see that a result it received came
+    from a replayed run rather than the original submission.
+    """
+    return {
+        "id": job.id,
+        "tenant": job.spec.tenant,
+        "attempts": job.attempts,
+        "recovered": job.recovered,
+        "idempotency_key": job.spec.idempotency_key,
+    }
+
+
 def extend_bench_payload(payload: Dict, *,
                          metrics: Optional[MetricsRegistry] = None) -> Dict:
     """Graft the shared report header onto a bench payload, in place.

@@ -173,6 +173,13 @@ class WorkerPool:
         self.rebuilds = 0
         #: completed :meth:`run_tasks` calls
         self.runs = 0
+        #: rebuilds consumed by the most recent run alone
+        self.last_run_rebuilds = 0
+        #: tasks the most recent run handed back unfinished
+        self.last_run_unfinished = 0
+        #: runs in a row that rebuilt or left work unfinished — the
+        #: service circuit breaker's pool-health signal
+        self.consecutive_degraded_runs = 0
 
     # ------------------------------------------------------------------
     # executor lifecycle
@@ -265,6 +272,7 @@ class WorkerPool:
         record = record if record is not None else (lambda kind, **kw: None)
         results: Dict[int, object] = {}
         attempts: Dict[int, int] = dict.fromkeys(range(len(tasks)), 0)
+        rebuilds_before = self.rebuilds
         pool = self._ensure(plan)
         inflight: Deque[Tuple[int, object]] = deque()
         scheduled: List[Tuple[float, int]] = []  # (ready_at, index)
@@ -401,4 +409,10 @@ class WorkerPool:
                 # for clean completions only
                 self._discard()
             self.runs += 1
+            self.last_run_rebuilds = self.rebuilds - rebuilds_before
+            self.last_run_unfinished = len(tasks) - len(results)
+            if self.last_run_rebuilds or self.last_run_unfinished:
+                self.consecutive_degraded_runs += 1
+            else:
+                self.consecutive_degraded_runs = 0
         return results, attempts

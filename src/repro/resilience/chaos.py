@@ -161,6 +161,10 @@ def run_chaos(circuits: Optional[Sequence[str]] = None, *, seed: int = 0,
         "resource.exhaust": _run_resource_exhaust,
         "checkpoint.corrupt": _run_checkpoint_corrupt,
         "cache.poison": _run_cache_poison,
+        "journal.corrupt": _run_journal_corrupt,
+        "service.crash": _run_service_crash,
+        "queue.overload": _run_queue_overload,
+        "pool.breaker": _run_pool_breaker,
     }
     for site in chosen:
         report.outcomes.append(runners[site](
@@ -260,6 +264,251 @@ def _run_checkpoint_corrupt(*, seed, target, baseline, **_) -> ChaosOutcome:
               f"{'rewound and re-ran' if rewound else 'DID NOT RE-RUN'}, "
               f"digest {'matches clean run' if digests_ok else 'DIVERGED'}")
     return ChaosOutcome(site="checkpoint.corrupt", spec=plan.spec(), ok=ok,
+                        detail=detail, digests_ok=digests_ok)
+
+
+# ---------------------------------------------------------------------------
+# service-tier scenarios (DESIGN.md §14)
+# ---------------------------------------------------------------------------
+def _service_digests_ok(result: Dict, baseline: Dict[str, str]) -> bool:
+    """Every entry of a service job result must match the baseline."""
+    return all(entry["digest"] == baseline.get(
+        f"{entry['circuit']}/{entry['flow']}/area")
+        for entry in result.get("results", []))
+
+
+def _run_journal_corrupt(*, seed, target, baseline, **_) -> ChaosOutcome:
+    """A done job's journaled result blob is corrupted on disk; the
+    restarted daemon must demote it and recompute to the same digest."""
+    from ..service import MappingService, ServiceClient, start_in_thread
+
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("journal.corrupt", match=target),))
+    with tempfile.TemporaryDirectory(prefix="soidomino-chaos-") as tmpdir:
+        journal = f"{tmpdir}/journal.sqlite"
+        previous = install(plan)
+        try:
+            service = MappingService(max_workers=1, journal_path=journal)
+            handle = start_in_thread(service)
+            try:
+                client = ServiceClient(port=handle.port)
+                job = client.submit({"circuits": [target]})
+                first = client.wait(job["id"])
+            finally:
+                handle.stop()
+            # the daemon restarts with the same fault env: the rule's
+            # max_attempt=1 window must keep the rerun (attempt 2) clean
+            service2 = MappingService(max_workers=1, journal_path=journal)
+            demoted = service2.journal.stats()["corrupt_results"] >= 1
+            requeued = service2.requeued_jobs >= 1
+            handle2 = start_in_thread(service2)
+            try:
+                client2 = ServiceClient(port=handle2.port)
+                second = client2.wait(job["id"])
+                status = client2.status(job["id"])
+            finally:
+                handle2.stop()
+        finally:
+            install(previous)
+    digests_ok = (first["state"] == "done" and second["state"] == "done"
+                  and _service_digests_ok(first["result"], baseline)
+                  and _service_digests_ok(second["result"], baseline))
+    recomputed = status["attempts"] == 2 and status["recovered"]
+    ok = demoted and requeued and recomputed and digests_ok
+    detail = (f"corrupt result blob "
+              f"{'detected and demoted' if demoted else 'NOT DETECTED'}, "
+              f"{'re-enqueued' if requeued else 'NOT RE-ENQUEUED'}, "
+              f"rerun (attempt 2) digest "
+              f"{'matches baseline' if digests_ok else 'DIVERGED'}")
+    return ChaosOutcome(site="journal.corrupt", spec=plan.spec(), ok=ok,
+                        detail=detail, digests_ok=digests_ok)
+
+
+def _spawn_daemon(port: int, journal: str, faults: str,
+                  extra_env: Optional[Dict[str, str]] = None):
+    """``soidomino serve`` as a real subprocess (kill -9 drills)."""
+    import os
+    import subprocess
+    import sys
+
+    from ..service import ServiceClient
+
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env["REPRO_FAULTS"] = faults
+    env.update(extra_env or {})
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--journal", journal, "--no-store", "-j", "1"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env)
+    client = ServiceClient(port=port, timeout=5.0, retries=0)
+    deadline = _now() + 30.0
+    while _now() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with code {process.returncode}")
+        try:
+            if client.health().get("status") == "ok":
+                return process
+        except OSError:
+            _sleep(0.1)
+    process.kill()
+    raise RuntimeError("chaos daemon did not become healthy within 30s")
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()
+
+
+def _sleep(seconds: float) -> None:
+    import time
+
+    time.sleep(seconds)
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _run_service_crash(*, seed, circuits, target, baseline,
+                       **_) -> ChaosOutcome:
+    """kill -9 the daemon mid-batch; the restarted daemon must replay
+    the journal and finish the job with baseline digests."""
+    import subprocess
+
+    from ..service import ServiceClient
+
+    faults = f"seed={seed};service.crash:match={target}"
+    with tempfile.TemporaryDirectory(prefix="soidomino-chaos-") as tmpdir:
+        journal = f"{tmpdir}/journal.sqlite"
+        port = _free_port()
+        daemon = _spawn_daemon(port, journal, faults)
+        try:
+            client = ServiceClient(port=port, retries=0)
+            job = client.submit({"circuits": list(circuits)})
+            try:
+                daemon.wait(timeout=120)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait(timeout=15)
+            crashed = daemon.returncode == 86
+            # the successor runs with the SAME fault env: recovery must
+            # survive it (the rerun is attempt 2, past the window)
+            daemon = _spawn_daemon(port, journal, faults)
+            retry_client = ServiceClient(port=port, retries=3)
+            result = retry_client.wait(job["id"], timeout=120.0)
+            status = retry_client.status(job["id"])
+            events = list(retry_client.events(job["id"]))
+        finally:
+            daemon.terminate()
+            try:
+                daemon.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.wait(timeout=15)
+    digests_ok = (result["state"] == "done"
+                  and _service_digests_ok(result["result"], baseline))
+    replayed = status["recovered"] and status["attempts"] == 2
+    seqs = [e["seq"] for e in events]
+    cursor_ok = seqs == sorted(set(seqs))  # continuous, no duplicates
+    ok = crashed and replayed and digests_ok and cursor_ok
+    detail = (f"daemon {'crashed mid-batch (exit 86)' if crashed else 'DID NOT CRASH'}, "
+              f"restart {'replayed the journal' if replayed else 'DID NOT REPLAY'}, "
+              f"digests {'match baseline' if digests_ok else 'DIVERGED'}, "
+              f"event cursor {'continuous' if cursor_ok else 'BROKEN'}")
+    return ChaosOutcome(site="service.crash",
+                        spec=faults, ok=ok, detail=detail,
+                        digests_ok=digests_ok)
+
+
+def _run_queue_overload(*, seed, target, baseline, **_) -> ChaosOutcome:
+    """Admission sheds the first submit (retryable 429 + Retry-After);
+    the client's idempotent retry must run the job exactly once."""
+    from ..service import MappingService, ServiceClient, start_in_thread
+
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("queue.overload", match=target),))
+    previous = install(plan)
+    try:
+        service = MappingService(max_workers=1)
+        handle = start_in_thread(service)
+        try:
+            client = ServiceClient(port=handle.port, retries=3)
+            job = client.submit({"circuits": [target]})
+            result = client.wait(job["id"])
+        finally:
+            handle.stop()
+    finally:
+        install(previous)
+    shed = client.retried >= 1
+    exactly_once = len(service.jobs) == 1
+    digests_ok = (result["state"] == "done"
+                  and _service_digests_ok(result["result"], baseline))
+    ok = shed and exactly_once and digests_ok
+    detail = (f"first submit {'shed, client retried' if shed else 'NOT SHED'}, "
+              f"{len(service.jobs)} job(s) ran "
+              f"{'(exactly once)' if exactly_once else '(EXPECTED 1)'}, "
+              f"digest {'matches baseline' if digests_ok else 'DIVERGED'}")
+    return ChaosOutcome(site="queue.overload", spec=plan.spec(), ok=ok,
+                        detail=detail, digests_ok=digests_ok)
+
+
+def _run_pool_breaker(*, seed, target, baseline, **_) -> ChaosOutcome:
+    """Consecutive injected pool failures must open the breaker (503 at
+    admission); after the reset window a probe job closes it."""
+    from ..service import (
+        MappingService,
+        ServiceClient,
+        ServiceError,
+        start_in_thread,
+    )
+
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule("pool.breaker", match=target),))
+    previous = install(plan)
+    try:
+        service = MappingService(max_workers=1, breaker_threshold=2,
+                                 breaker_reset_s=3.0)
+        handle = start_in_thread(service)
+        try:
+            client = ServiceClient(port=handle.port, retries=0)
+            for _i in range(2):  # each job fails at attempt 1
+                job = client.submit({"circuits": [target]})
+                client.wait(job["id"])
+            opened = service.breaker.state == "open"
+            rejected = False
+            try:
+                client.submit({"circuits": [target]})
+            except ServiceError as exc:
+                rejected = (exc.status == 503 and exc.retryable
+                            and exc.retry_after is not None)
+            install(previous)  # the pool "heals": faults stop firing
+            _sleep(3.1)  # past breaker_reset_s: next submit is the probe
+            probe = client.submit({"circuits": [target]})
+            result = client.wait(probe["id"])
+            closed = service.breaker.state == "closed"
+            opens = service.breaker.opens
+        finally:
+            handle.stop()
+    finally:
+        install(previous)
+    digests_ok = (result["state"] == "done"
+                  and _service_digests_ok(result["result"], baseline))
+    ok = opened and rejected and closed and opens >= 1 and digests_ok
+    detail = (f"breaker {'opened after 2 failures' if opened else 'DID NOT OPEN'}, "
+              f"admission {'rejected 503+Retry-After' if rejected else 'NOT GATED'}, "
+              f"probe {'closed it' if closed else 'DID NOT CLOSE'}, "
+              f"digest {'matches baseline' if digests_ok else 'DIVERGED'}")
+    return ChaosOutcome(site="pool.breaker", spec=plan.spec(), ok=ok,
                         detail=detail, digests_ok=digests_ok)
 
 

@@ -89,6 +89,35 @@ FAULT_POINTS: Dict[str, FaultPoint] = {
             "configured node/tuple ceiling would",
             "the run stops with a structured MappingError carrying the "
             "partial stats; batch reports it as a per-task failure"),
+        FaultPoint(
+            "journal.corrupt",
+            "the job journal flips a byte of the result blob after its "
+            "sha256 checksum is recorded, so the row on disk no longer "
+            "matches its manifest entry",
+            "journal recovery verifies every result checksum, discards "
+            "the corrupt blob, and re-enqueues the job so a restarted "
+            "daemon recomputes it to the fault-free digest"),
+        FaultPoint(
+            "service.crash",
+            "the serving daemon exits hard (os._exit) right after the "
+            "running job's first task completes — a kill -9 mid-batch",
+            "the restarted daemon replays the journal, re-enqueues every "
+            "queued/running job, and the rerun (execution attempt 2) "
+            "produces digests identical to an uninterrupted run"),
+        FaultPoint(
+            "queue.overload",
+            "admission control treats the queue-wait watermark as "
+            "breached for this submission",
+            "the submit is shed with a retryable 429 carrying "
+            "Retry-After; the client backs off and the retried submit "
+            "(same idempotency key) is admitted and runs exactly once"),
+        FaultPoint(
+            "pool.breaker",
+            "job execution fails with WorkerCrashError as if the worker "
+            "pool kept dying through its rebuilds",
+            "consecutive failures open the circuit breaker (retryable "
+            "503 at admission); after the reset window a half-open "
+            "probe job runs and, on success, closes the breaker"),
     )
 }
 
@@ -312,6 +341,30 @@ def fire(site: str, key: str, tracer=None,
     plan.record_fired(site)
     emit_fault(site, key, tracer=tracer, metrics=metrics)
     return rule
+
+
+def fire_at_attempt(site: str, key: str, attempt: int, tracer=None,
+                    metrics=None) -> Optional[FaultRule]:
+    """:func:`fire` under an explicit ambient attempt number.
+
+    Task-level sites rely on the executor setting ``plan.attempt``;
+    service-level sites (daemon crash, admission shed, breaker trips)
+    are windowed by the *job's* execution attempt or the submission's
+    shed count instead.  Swapping the ambient attempt around the
+    decision is what makes a restarted daemon with the same
+    ``REPRO_FAULTS`` env safe: a journal-recovered job runs at attempt
+    2, past the default ``max_attempt=1`` window, so the fault fires
+    once and recovery can be asserted to actually recover.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    saved = plan.attempt
+    plan.attempt = attempt
+    try:
+        return fire(site, key, tracer=tracer, metrics=metrics)
+    finally:
+        plan.attempt = saved
 
 
 def fault_counter(site: str) -> str:

@@ -9,6 +9,11 @@ HTTP API (DESIGN.md §13):
 * :mod:`repro.service.core` — :class:`MappingService`: one warm pool,
   one persistent store, a one-job-at-a-time scheduler, cumulative
   metrics, and the typed error contract;
+* :mod:`repro.service.journal` — the crash-safe sqlite-WAL job
+  journal (write-ahead submits, checksummed results, event cursors,
+  idempotency dedupe, restart recovery — DESIGN.md §14);
+* :mod:`repro.service.breaker` — the circuit breaker separating
+  readiness (admitting work) from liveness (answering requests);
 * :mod:`repro.service.server` — the asyncio HTTP front end
   (submit/status/result, NDJSON event streaming, live ``/metrics``);
 * :mod:`repro.service.client` — a stdlib blocking client;
@@ -29,8 +34,13 @@ _LAZY = {
     "JobSpec": ("jobs", "JobSpec"),
     "JobSpecError": ("jobs", "JobSpecError"),
     "QuotaExceededError": ("jobs", "QuotaExceededError"),
+    "OverloadError": ("jobs", "OverloadError"),
+    "ServiceUnavailableError": ("jobs", "ServiceUnavailableError"),
     "MappingService": ("core", "MappingService"),
     "error_payload": ("core", "error_payload"),
+    "JobJournal": ("journal", "JobJournal"),
+    "default_journal_path": ("journal", "default_journal_path"),
+    "CircuitBreaker": ("breaker", "CircuitBreaker"),
     "ServiceServer": ("server", "ServiceServer"),
     "serve": ("server", "serve"),
     "start_in_thread": ("server", "start_in_thread"),

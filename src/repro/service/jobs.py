@@ -60,6 +60,35 @@ class QuotaExceededError(ReproError):
     retryable = True
 
 
+class OverloadError(ReproError):
+    """Admission control shed this submit (HTTP 429; back off).
+
+    Raised when the estimated queue wait crosses the service watermark
+    (or the ``queue.overload`` fault fires).  Carries ``retry_after_s``
+    so the HTTP layer can emit a ``Retry-After`` header.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceUnavailableError(ReproError):
+    """The daemon is alive but not admitting work (HTTP 503; back off).
+
+    Raised while draining (SIGTERM received) or while the circuit
+    breaker is open.  Carries ``retry_after_s`` for ``Retry-After``.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One validated mapping-sweep request.
@@ -76,6 +105,9 @@ class JobSpec:
     kernel: str = "auto"
     tenant: str = "default"
     priority: int = 0
+    #: client-supplied dedupe token: two submits with the same key are
+    #: the same job, even across a daemon restart (journal-persisted)
+    idempotency_key: Optional[str] = None
 
     @classmethod
     def from_payload(cls, payload: object) -> "JobSpec":
@@ -88,7 +120,8 @@ class JobSpec:
             raise JobSpecError("job payload must be a JSON object, "
                                f"got {type(payload).__name__}")
         unknown = set(payload) - {"circuits", "flows", "cost", "k",
-                                  "kernel", "tenant", "priority"}
+                                  "kernel", "tenant", "priority",
+                                  "idempotency_key"}
         if unknown:
             raise JobSpecError(
                 f"unknown job field(s): {', '.join(sorted(unknown))}")
@@ -125,9 +158,16 @@ class JobSpec:
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise JobSpecError(
                 f"'priority' must be an integer, got {priority!r}")
+        idempotency_key = payload.get("idempotency_key")
+        if idempotency_key is not None and (
+                not isinstance(idempotency_key, str) or not idempotency_key
+                or len(idempotency_key) > 200):
+            raise JobSpecError(
+                "'idempotency_key' must be a non-empty string "
+                "(at most 200 chars)")
         return cls(circuits=tuple(circuits), flows=tuple(flows), cost=cost,
                    k=float(k), kernel=kernel, tenant=tenant,
-                   priority=priority)
+                   priority=priority, idempotency_key=idempotency_key)
 
     def tasks(self):
         """The batch-task list this job maps (CLI-identical)."""
@@ -145,9 +185,19 @@ class JobSpec:
             cost_models=[model], config=MapperConfig(kernel=self.kernel))
 
     def as_dict(self) -> Dict[str, object]:
-        return {"circuits": list(self.circuits), "flows": list(self.flows),
-                "cost": self.cost, "k": self.k, "kernel": self.kernel,
-                "tenant": self.tenant, "priority": self.priority}
+        payload: Dict[str, object] = {
+            "circuits": list(self.circuits), "flows": list(self.flows),
+            "cost": self.cost, "k": self.k, "kernel": self.kernel,
+            "tenant": self.tenant, "priority": self.priority}
+        if self.idempotency_key is not None:
+            payload["idempotency_key"] = self.idempotency_key
+        return payload
+
+    @property
+    def label(self) -> str:
+        """A human/fault-matchable summary, e.g. ``mux/soi/area``."""
+        return (f"{'+'.join(self.circuits)}/{'+'.join(self.flows)}"
+                f"/{self.cost}")
 
 
 @dataclass
@@ -166,6 +216,15 @@ class Job:
     result: Optional[Dict[str, object]] = None
     #: the typed error payload once FAILED
     error: Optional[Dict[str, object]] = None
+    #: execution attempts (bumped when the scheduler picks the job up;
+    #: a journal-recovered rerun is attempt 2)
+    attempts: int = 0
+    #: True for a job replayed from the journal after a restart
+    recovered: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
 
     def add_event(self, kind: str, **fields_) -> Dict[str, object]:
         event: Dict[str, object] = {"seq": len(self.events), "kind": kind,
@@ -189,6 +248,8 @@ class Job:
             "finished_s": self.finished_s,
             "events": len(self.events),
             "error": self.error,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
         }
 
 
@@ -219,10 +280,16 @@ class JobQueue:
         return sum(1 for heap in heaps
                    for _, _, job in heap if job.state == QUEUED)
 
-    def push(self, job: Job) -> None:
-        """Admit one job, or raise :class:`QuotaExceededError`."""
+    def push(self, job: Job, enforce_quota: bool = True) -> None:
+        """Admit one job, or raise :class:`QuotaExceededError`.
+
+        Journal recovery re-enqueues with ``enforce_quota=False``: the
+        jobs were already admitted once, and recovery must not drop
+        accepted work just because it exceeds today's quota.
+        """
         tenant = job.spec.tenant
-        if self.queued_count(tenant) >= self.max_queued_per_tenant:
+        if enforce_quota and \
+                self.queued_count(tenant) >= self.max_queued_per_tenant:
             raise QuotaExceededError(
                 f"tenant {tenant!r} already has "
                 f"{self.max_queued_per_tenant} queued job(s); "

@@ -19,7 +19,9 @@ DELETE    ``/v1/jobs/{id}``           cancel (queued jobs only)
 Error contract: every failure body is ``{"error": {type, message,
 retryable, kind}}`` (:func:`~repro.service.core.error_payload`), with
 status 400 for invalid specs, 404 for unknown jobs, 429 for tenant
-quota (``retryable: true``), 503 while shutting down and 500 for
+quota and backpressure sheds (``retryable: true``, with a
+``Retry-After`` header), 503 while draining or with the circuit
+breaker open (also ``Retry-After``) and 500 for
 anything unexpected.  The events route streams each event as one JSON
 line the moment it is appended and closes after the terminal state
 event; ``?since=N`` resumes from sequence number ``N``.
@@ -42,7 +44,13 @@ from urllib.parse import parse_qs, urlsplit
 from ..errors import ReproError
 from ..obs import prometheus_text
 from .core import MappingService, error_payload
-from .jobs import CANCELLED, JobSpecError, QuotaExceededError
+from .jobs import (
+    CANCELLED,
+    JobSpecError,
+    OverloadError,
+    QuotaExceededError,
+    ServiceUnavailableError,
+)
 
 _MAX_BODY = 4 * 1024 * 1024
 
@@ -50,14 +58,24 @@ _MAX_BODY = 4 * 1024 * 1024
 class _HttpError(Exception):
     """Internal: carry a status + payload to the response writer."""
 
-    def __init__(self, status: int, payload: Dict[str, object]):
+    def __init__(self, status: int, payload: Dict[str, object],
+                 headers: Optional[Dict[str, str]] = None):
         super().__init__(payload.get("error", {}).get("message", ""))
         self.status = status
         self.payload = payload
+        self.headers = headers or {}
 
 
-def _error(status: int, exc: BaseException) -> _HttpError:
-    return _HttpError(status, {"error": error_payload(exc)})
+def _error(status: int, exc: BaseException,
+           headers: Optional[Dict[str, str]] = None) -> _HttpError:
+    return _HttpError(status, {"error": error_payload(exc)},
+                      headers=headers)
+
+
+def _retry_after(exc: BaseException) -> Dict[str, str]:
+    """The ``Retry-After`` header for a backoff-carrying error."""
+    seconds = getattr(exc, "retry_after_s", 1.0)
+    return {"Retry-After": str(max(1, int(round(seconds))))}
 
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
@@ -67,17 +85,23 @@ _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
 
 
 def _response(status: int, body: bytes,
-              content_type: str = "application/json") -> bytes:
+              content_type: str = "application/json",
+              headers: Optional[Dict[str, str]] = None) -> bytes:
     reason = _REASONS.get(status, "")
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n")
     return head.encode("ascii") + body
 
 
-def _json_response(status: int, payload: object) -> bytes:
-    return _response(status, json.dumps(payload).encode("utf-8"))
+def _json_response(status: int, payload: object,
+                   headers: Optional[Dict[str, str]] = None) -> bytes:
+    return _response(status, json.dumps(payload).encode("utf-8"),
+                     headers=headers)
 
 
 async def _read_request(reader: asyncio.StreamReader
@@ -149,7 +173,8 @@ class ServiceServer:
             try:
                 await self._route(method, path, query, body, writer)
             except _HttpError as exc:
-                writer.write(_json_response(exc.status, exc.payload))
+                writer.write(_json_response(exc.status, exc.payload,
+                                            headers=exc.headers))
             except Exception as exc:  # noqa: BLE001 - 500 contract
                 writer.write(_json_response(500, {"error":
                                                   error_payload(exc)}))
@@ -173,10 +198,7 @@ class ServiceServer:
     async def _route(self, method: str, path: str, query: Dict[str, str],
                      body: bytes, writer: asyncio.StreamWriter) -> None:
         if path == "/healthz" and method == "GET":
-            writer.write(_json_response(200, {
-                "status": "ok", "jobs": self.service.counts(),
-                "queued": len(self.service.queue),
-                "warmth": self.service.warmth()}))
+            writer.write(_json_response(200, self.service.health()))
             return
         if path == "/metrics" and method == "GET":
             text = prometheus_text(self.service.metrics_registry())
@@ -194,8 +216,12 @@ class ServiceServer:
                 job = self.service.submit(payload)
             except JobSpecError as exc:
                 raise _error(400, exc) from None
+            except OverloadError as exc:
+                raise _error(429, exc, headers=_retry_after(exc)) from None
             except QuotaExceededError as exc:
-                raise _error(429, exc) from None
+                raise _error(429, exc, headers=_retry_after(exc)) from None
+            except ServiceUnavailableError as exc:
+                raise _error(503, exc, headers=_retry_after(exc)) from None
             except ReproError as exc:
                 raise _error(503, exc) from None
             writer.write(_json_response(202, job.status()))
@@ -262,13 +288,18 @@ class ServiceServer:
 
 
 async def serve(service: MappingService, host: str = "127.0.0.1",
-                port: int = 8650) -> None:
+                port: int = 8650, drain_grace_s: float = 30.0) -> None:
     """Run the daemon until SIGTERM/SIGINT or cancellation (the
-    ``soidomino serve`` body).  Shutdown is graceful: the listener and
-    the worker pool are closed (workers joined) before returning, so
-    the port is actually free for a successor process — forked pool
-    workers inherit the listening socket and would otherwise keep it
-    bound."""
+    ``soidomino serve`` body).
+
+    Shutdown is a *graceful drain*: admission stops first (submits get
+    503 + ``Retry-After`` while status, results and metrics keep
+    serving), queued and running jobs get up to ``drain_grace_s``
+    seconds to finish, and anything still pending stays in the journal
+    for the successor daemon to recover.  Then the listener and the
+    worker pool are closed (workers joined) before returning, so the
+    port is actually free for a successor process — forked pool workers
+    inherit the listening socket and would otherwise keep it bound."""
     import signal
 
     server = ServiceServer(service, host=host, port=port)
@@ -284,6 +315,7 @@ async def serve(service: MappingService, host: str = "127.0.0.1",
             pass  # non-Unix loop: Ctrl-C still raises KeyboardInterrupt
     try:
         await stop.wait()
+        await service.drain(grace_s=drain_grace_s)
     except asyncio.CancelledError:
         pass
     finally:

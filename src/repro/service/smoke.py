@@ -1,7 +1,7 @@
 """End-to-end service drill: ``python -m repro.service.smoke``.
 
 The CI job for the daemon.  Against real subprocesses (no in-process
-shortcuts), it asserts the three promises of mapping-as-a-service:
+shortcuts), it asserts the four promises of mapping-as-a-service:
 
 1. **Parity** — a sweep submitted over HTTP produces bit-identical
    digests and equal costs to ``soidomino batch --json`` run directly;
@@ -11,7 +11,11 @@ shortcuts), it asserts the three promises of mapping-as-a-service:
    tree caches hitting;
 3. **Persistence** — after a full daemon restart, the new process
    reuses the sqlite cone store: cumulative store hits grow while the
-   entry count stays flat, and digests still match.
+   entry count stays flat, and digests still match;
+4. **Durability** — a daemon killed with ``SIGKILL`` mid-job is
+   restarted against the same ``--journal`` database and the recovered
+   job completes with digests bit-identical to the CLI baseline, its
+   event-stream cursor intact (DESIGN.md §14).
 
 Finally it scrapes ``/metrics`` for the live ``repro_mapping_*`` /
 ``repro_service_*`` families.  Exit code 0 on success, 1 with a FAIL
@@ -23,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -45,10 +50,11 @@ def _python() -> List[str]:
     return [sys.executable, "-m", "repro"]
 
 
-def _start_daemon(port: int, store: str, jobs: int) -> subprocess.Popen:
+def _start_daemon(port: int, store: str, jobs: int,
+                  journal: str = "none") -> subprocess.Popen:
     process = subprocess.Popen(
         _python() + ["serve", "--port", str(port), "--store", store,
-                     "-j", str(jobs)],
+                     "-j", str(jobs), "--journal", journal],
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
         env=os.environ.copy())
     client = ServiceClient(port=port, timeout=5.0)
@@ -188,6 +194,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         check(after["entries"] == before["entries"],
               "restart recomputed nothing new "
               f"({after['entries']} entries, unchanged)")
+
+        # ---- durability: kill -9 mid-job, restart, same digests ----
+        journal = os.path.join(tmp, "journal.sqlite")
+        print(f"daemon:   soidomino serve --port {port} (kill -9 drill)")
+        daemon = _start_daemon(port, store, args.jobs, journal=journal)
+        killed_mid_job = False
+        job: Dict[str, object] = {}
+        try:
+            client = ServiceClient(port=port, timeout=30.0)
+            job = client.submit({"circuits": list(circuits),
+                                 "flows": ["soi"]})
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if client.status(job["id"])["state"] == "running":
+                    killed_mid_job = True
+                    break
+                time.sleep(0.005)
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=15)
+        except BaseException:
+            _stop_daemon(daemon)
+            raise
+        check(killed_mid_job,
+              "daemon killed -9 while the job was running")
+
+        print(f"daemon:   soidomino serve --port {port} (resurrected)")
+        daemon = _start_daemon(port, store, args.jobs, journal=journal)
+        try:
+            client = ServiceClient(port=port, timeout=30.0, retries=3)
+            result = client.wait(job["id"], timeout=600.0)
+            check(result["state"] == "done",
+                  "journal-recovered job ran to completion")
+            served4 = {e["circuit"]: (e["digest"], e["cost"])
+                       for e in result["result"]["results"]}
+            check(served4 == baseline,
+                  "recovered job digests bit-identical to the CLI")
+            status = client.status(job["id"])
+            check(bool(status["recovered"]) and status["attempts"] >= 2,
+                  "status shows journal recovery (attempt 2)")
+            events = list(client.events(job["id"]))
+            seqs = [e["seq"] for e in events]
+            check(seqs == sorted(set(seqs)),
+                  "event stream cursor survived the crash "
+                  f"({len(seqs)} events, no gaps or duplicates)")
+            health = client.health()
+            check(health["journal"]["non_terminal"] == 0,
+                  "journal holds no unfinished jobs after recovery")
+        finally:
+            _stop_daemon(daemon)
 
     if failures:
         print(f"\nsmoke: {len(failures)} assertion(s) failed",

@@ -20,7 +20,9 @@ from repro.resilience import (
 )
 
 ALL_SITES = ("worker.crash", "task.hang", "checkpoint.corrupt",
-             "cache.poison", "parse.fail", "resource.exhaust")
+             "cache.poison", "parse.fail", "resource.exhaust",
+             "journal.corrupt", "service.crash", "queue.overload",
+             "pool.breaker")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,161 @@
+"""Restart-safe jobs: journal recovery, idempotent resubmission, drain."""
+
+import asyncio
+
+import pytest
+
+from repro import BatchRunner
+from repro.obs import batch_report
+from repro.service import (
+    JobJournal,
+    MappingService,
+    ServiceClient,
+    ServiceError,
+    start_in_thread,
+)
+from repro.service.jobs import Job, JobSpec, ServiceUnavailableError
+
+
+def _served(tmp_path, **service_kwargs):
+    service = MappingService(max_workers=1,
+                             journal_path=str(tmp_path / "journal.sqlite"),
+                             **service_kwargs)
+    handle = start_in_thread(service)
+    return service, handle, ServiceClient(port=handle.port)
+
+
+class TestRestart:
+    def test_terminal_job_survives_a_restart(self, tmp_path):
+        service, handle, client = _served(tmp_path)
+        try:
+            job = client.submit({"circuits": ["mux"]})
+            first = client.wait(job["id"])
+            assert first["state"] == "done"
+            events_before = list(client.events(job["id"]))
+        finally:
+            handle.stop()
+
+        service2, handle2, client2 = _served(tmp_path)
+        try:
+            assert service2.recovered_jobs == 1
+            assert service2.requeued_jobs == 0
+            status = client2.status(job["id"])
+            assert status["state"] == "done" and status["recovered"]
+            again = client2.result(job["id"])
+            assert again["result"] == first["result"]
+            events_after = list(client2.events(job["id"]))
+            assert events_after == events_before
+        finally:
+            handle2.stop()
+
+    def test_interrupted_job_reruns_to_identical_digests(self, tmp_path):
+        # simulate kill -9 after admission: the journal holds a queued
+        # row that never ran; the successor must run it to completion
+        journal = JobJournal(str(tmp_path / "journal.sqlite"))
+        job = Job(spec=JobSpec.from_payload({"circuits": ["mux"]}))
+        journal.record_submit(job)
+        journal.close()
+
+        service, handle, client = _served(tmp_path)
+        try:
+            assert service.requeued_jobs == 1
+            result = client.wait(job.id, timeout=300.0)
+            assert result["state"] == "done"
+            status = client.status(job.id)
+            assert status["recovered"] and status["attempts"] == 1
+        finally:
+            handle.stop()
+        direct = batch_report(BatchRunner(max_workers=1).run(
+            BatchRunner.sweep_tasks(circuits=["mux"])))
+        assert result["result"]["results"][0]["digest"] == \
+            direct["results"][0]["digest"]
+
+    def test_event_cursor_resumes_after_restart(self, tmp_path):
+        service, handle, client = _served(tmp_path)
+        try:
+            job = client.submit({"circuits": ["mux"]})
+            head = list(client.events(job["id"]))[:2]
+        finally:
+            handle.stop()
+        service2, handle2, client2 = _served(tmp_path)
+        try:
+            tail = list(client2.events(job["id"],
+                                       since=head[-1]["seq"] + 1))
+            seqs = [e["seq"] for e in head + tail]
+            assert seqs == list(range(len(seqs)))  # no gaps, no repeats
+        finally:
+            handle2.stop()
+
+
+class TestIdempotency:
+    def test_resubmission_dedupes_within_one_daemon(self, tmp_path):
+        service, handle, client = _served(tmp_path)
+        try:
+            spec = {"circuits": ["mux"], "idempotency_key": "once"}
+            job = client.submit(spec)
+            client.wait(job["id"])
+            again = client.submit(spec)
+            assert again["id"] == job["id"]
+            assert len(service.jobs) == 1
+        finally:
+            handle.stop()
+
+    def test_resubmission_dedupes_across_a_restart(self, tmp_path):
+        service, handle, client = _served(tmp_path)
+        try:
+            spec = {"circuits": ["mux"], "idempotency_key": "durable"}
+            job = client.submit(spec)
+            client.wait(job["id"])
+        finally:
+            handle.stop()
+        service2, handle2, client2 = _served(tmp_path)
+        try:
+            again = client2.submit(spec)
+            assert again["id"] == job["id"]
+            # the original already ran: no second execution happened
+            assert again["state"] == "done"
+            assert again["attempts"] == client2.status(job["id"])["attempts"]
+        finally:
+            handle2.stop()
+
+
+class TestDrain:
+    def test_drain_stops_admission_and_settles_the_journal(self, tmp_path):
+        async def flow():
+            service = MappingService(
+                max_workers=1,
+                journal_path=str(tmp_path / "journal.sqlite"))
+            try:
+                service.start()
+                job = service.submit({"circuits": ["mux"]})
+                while not job.finished:
+                    await asyncio.sleep(0.01)
+                outcome = await service.drain(grace_s=10.0)
+                assert outcome["drained"] and outcome["remaining"] == 0
+                with pytest.raises(ServiceUnavailableError):
+                    service.submit({"circuits": ["mux"]})
+                # SIGTERM contract: nothing non-terminal left journaled
+                assert service.journal.non_terminal_count() == 0
+                health = service.health()
+                assert health["draining"] and health["ready"] is False
+            finally:
+                await service.aclose()
+
+        asyncio.run(flow())
+
+    def test_draining_submit_is_a_503_with_retry_after(self, tmp_path):
+        service, handle, _client = _served(tmp_path)
+        client = ServiceClient(port=handle.port, retries=0)
+        try:
+            service.draining = True
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"circuits": ["mux"]})
+            assert excinfo.value.status == 503
+            assert excinfo.value.retryable
+            assert excinfo.value.retry_after is not None
+            error = excinfo.value.payload["error"]
+            assert error["type"] == "ServiceUnavailableError"
+            # liveness endpoints keep answering while draining
+            assert client.health()["draining"] is True
+        finally:
+            handle.stop()
